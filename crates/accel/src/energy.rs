@@ -1,0 +1,87 @@
+//! Energy rollup: design power × scheduled time, and the savings
+//! calculators behind Table 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::DesignMetrics;
+use crate::schedule::NetworkSchedule;
+
+/// Time/energy of running one inference on one design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total cycles for one input.
+    pub cycles: u64,
+    /// Latency in microseconds.
+    pub time_us: f64,
+    /// Energy in microjoules (`power · time`).
+    pub energy_uj: f64,
+}
+
+impl RunReport {
+    /// Combines a schedule with a design's power draw.
+    ///
+    /// Energy is literally `power × time`, which is how the paper's
+    /// Table 2 numbers relate to its Table 1 numbers (e.g.
+    /// 1361.61 mW × 246.52 µs ≈ 335.68 µJ).
+    pub fn from_schedule(schedule: &NetworkSchedule, design: &DesignMetrics) -> Self {
+        RunReport {
+            cycles: schedule.total_cycles,
+            time_us: schedule.time_us,
+            energy_uj: design.power_mw * schedule.time_us / 1000.0,
+        }
+    }
+
+    /// Percentage energy saving relative to a baseline run.
+    pub fn energy_saving_vs(&self, baseline: &RunReport) -> f64 {
+        100.0 * (1.0 - self.energy_uj / baseline.energy_uj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design_metrics, AcceleratorConfig};
+    use crate::components::ComponentLibrary;
+    use crate::schedule::{schedule_network, DmaModel};
+    use mfdfp_nn::zoo;
+    use mfdfp_tensor::TensorRng;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let s = NetworkSchedule { layers: vec![], total_cycles: 61_630, time_us: 246.52 };
+        let d = DesignMetrics { area_mm2: 16.52, power_mw: 1361.61, breakdown: vec![] };
+        let r = RunReport::from_schedule(&s, &d);
+        assert!((r.energy_uj - 335.68).abs() < 0.05, "energy {}", r.energy_uj);
+    }
+
+    #[test]
+    fn savings_reproduce_paper_shape_on_cifar() {
+        // End-to-end: schedule cifar10-quick on both designs, combine with
+        // composed power, check ~90% energy saving (paper: 89.81%).
+        let mut rng = TensorRng::seed_from(0);
+        let net = zoo::cifar10_quick(10, &mut rng).unwrap();
+        let lib = ComponentLibrary::calibrated_65nm();
+        let fp_cfg = AcceleratorConfig::paper_fp32();
+        let mf_cfg = AcceleratorConfig::paper_mf_dfp();
+        let ens_cfg = AcceleratorConfig::paper_ensemble();
+        let fp = RunReport::from_schedule(
+            &schedule_network(&net, &fp_cfg, DmaModel::Overlapped).unwrap(),
+            &design_metrics(&fp_cfg, &lib).unwrap(),
+        );
+        let mf = RunReport::from_schedule(
+            &schedule_network(&net, &mf_cfg, DmaModel::Overlapped).unwrap(),
+            &design_metrics(&mf_cfg, &lib).unwrap(),
+        );
+        let ens = RunReport::from_schedule(
+            &schedule_network(&net, &ens_cfg, DmaModel::Overlapped).unwrap(),
+            &design_metrics(&ens_cfg, &lib).unwrap(),
+        );
+        let saving_mf = mf.energy_saving_vs(&fp);
+        let saving_ens = ens.energy_saving_vs(&fp);
+        assert!((saving_mf - 89.81).abs() < 1.5, "single saving {saving_mf}%");
+        assert!((saving_ens - 80.17).abs() < 1.5, "ensemble saving {saving_ens}%");
+        // Times nearly equal, energy wildly different — the paper's story.
+        assert!((fp.time_us - mf.time_us).abs() / fp.time_us < 0.01);
+        assert!(fp.energy_uj > 8.0 * mf.energy_uj);
+    }
+}

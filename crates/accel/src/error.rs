@@ -1,0 +1,82 @@
+//! Error type for the accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+use mfdfp_dfp::DfpError;
+use mfdfp_tensor::TensorError;
+
+/// Errors from accelerator composition, scheduling and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// Invalid accelerator configuration.
+    BadConfig(String),
+    /// A network layer the accelerator cannot execute (e.g. LRN, which the
+    /// paper removes precisely because it is not multiplier-free).
+    UnsupportedLayer(String),
+    /// An underlying fixed-point arithmetic fault (overflow audit failed).
+    Dfp(DfpError),
+    /// An underlying tensor shape error.
+    Tensor(TensorError),
+    /// Functional simulation input did not match the layer geometry.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::BadConfig(msg) => write!(f, "invalid accelerator configuration: {msg}"),
+            AccelError::UnsupportedLayer(name) => {
+                write!(f, "layer not executable on the accelerator: {name}")
+            }
+            AccelError::Dfp(e) => write!(f, "fixed-point fault: {e}"),
+            AccelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AccelError::BadInput { expected, actual } => {
+                write!(f, "simulation input length {actual} does not match geometry ({expected})")
+            }
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Dfp(e) => Some(e),
+            AccelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfpError> for AccelError {
+    fn from(e: DfpError) -> Self {
+        AccelError::Dfp(e)
+    }
+}
+
+impl From<TensorError> for AccelError {
+    fn from(e: TensorError) -> Self {
+        AccelError::Tensor(e)
+    }
+}
+
+/// Convenience alias for accelerator results.
+pub type Result<T> = std::result::Result<T, AccelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AccelError::from(DfpError::BadFanIn(3));
+        assert!(e.to_string().contains("fixed-point"));
+        assert!(Error::source(&e).is_some());
+        assert!(AccelError::UnsupportedLayer("lrn".into()).to_string().contains("lrn"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Bit-accurate functional model of the multiplier-free datapath.
+//!
+//! These routines execute quantized layers exactly the way the hardware of
+//! Figure 2(a) would: activation codes flow through shift-based products,
+//! the widening adder tree (with per-level overflow audits), a 32-bit
+//! accumulator, and the radix-realigning router that converts a layer's
+//! input fractional length `m` into its output fractional length `n`.
+//!
+//! `mfdfp-core` builds its integer inference engine on these primitives,
+//! which is precisely how the workspace proves software quantized
+//! inference and the accelerator agree bit-for-bit.
+
+use mfdfp_dfp::{Accumulator, AdderTree, Pow2Weight};
+use mfdfp_tensor::ConvGeometry;
+
+use crate::error::{AccelError, Result};
+
+/// Number of integer bits produced by the shift stage beyond the input
+/// format: products carry fractional length `m + 7`.
+pub const PRODUCT_FRAC_SHIFT: i32 = 7;
+
+/// A convolution layer in hardware representation.
+#[derive(Debug, Clone)]
+pub struct ShiftConv {
+    /// Convolution geometry (shared with the float framework).
+    pub geom: ConvGeometry,
+    /// Power-of-two weights, `OutC×InC×k×k` order.
+    pub weights: Vec<Pow2Weight>,
+    /// Per-output-channel bias, pre-aligned to the accumulator format
+    /// (fractional length `m + 7`).
+    pub bias: Vec<i64>,
+    /// Input activation fractional length `m`.
+    pub in_frac: i8,
+    /// Output activation fractional length `n`.
+    pub out_frac: i8,
+}
+
+impl ShiftConv {
+    /// Executes the layer on one image of activation codes (`C×H×W`,
+    /// row-major), returning output codes (`OutC×OH×OW`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] on a length mismatch and
+    /// propagates overflow audits from the adder tree.
+    pub fn run(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
+        let g = &self.geom;
+        let expect = g.in_c * g.in_h * g.in_w;
+        if input.len() != expect {
+            return Err(AccelError::BadInput { expected: expect, actual: input.len() });
+        }
+        if self.weights.len() != g.weight_count() {
+            return Err(AccelError::BadInput {
+                expected: g.weight_count(),
+                actual: self.weights.len(),
+            });
+        }
+        if self.bias.len() != g.out_c {
+            return Err(AccelError::BadInput { expected: g.out_c, actual: self.bias.len() });
+        }
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let k = g.kernel;
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        let mut out = vec![0i8; g.out_c * oh * ow];
+        // Synapse gather buffer reused across outputs.
+        let syn_count = g.col_height();
+        let mut xs = vec![0i32; syn_count];
+        let mut acc = Accumulator::new();
+        let group_in = g.in_c / g.groups;
+        let group_out = g.out_c / g.groups;
+        for oc in 0..g.out_c {
+            let wbase = oc * syn_count;
+            // Grouped convolutions see only their group's input channels.
+            let c_lo = (oc / group_out) * group_in;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Gather the receptive field (zero for padding).
+                    let mut si = 0usize;
+                    for c in c_lo..c_lo + group_in {
+                        for ky in 0..k {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            for kx in 0..k {
+                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                xs[si] = if iy < 0
+                                    || ix < 0
+                                    || iy >= g.in_h as isize
+                                    || ix >= g.in_w as isize
+                                {
+                                    0
+                                } else {
+                                    input[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
+                                        as i32
+                                };
+                                si += 1;
+                            }
+                        }
+                    }
+                    let code = mac_reduce(
+                        &xs,
+                        &self.weights[wbase..wbase + syn_count],
+                        self.bias[oc],
+                        acc_frac,
+                        self.out_frac as i32,
+                        tree,
+                        &mut acc,
+                    )?;
+                    out[(oc * oh + oy) * ow + ox] = code;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A fully-connected layer in hardware representation.
+#[derive(Debug, Clone)]
+pub struct ShiftLinear {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Power-of-two weights, `out×in` row-major.
+    pub weights: Vec<Pow2Weight>,
+    /// Per-output bias in accumulator format (fractional length `m + 7`).
+    pub bias: Vec<i64>,
+    /// Input activation fractional length `m`.
+    pub in_frac: i8,
+    /// Output activation fractional length `n`.
+    pub out_frac: i8,
+}
+
+impl ShiftLinear {
+    /// Executes the layer on one activation-code vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] on a length mismatch and
+    /// propagates overflow audits from the adder tree.
+    pub fn run(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
+        if input.len() != self.in_features {
+            return Err(AccelError::BadInput { expected: self.in_features, actual: input.len() });
+        }
+        if self.weights.len() != self.in_features * self.out_features {
+            return Err(AccelError::BadInput {
+                expected: self.in_features * self.out_features,
+                actual: self.weights.len(),
+            });
+        }
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();
+        let mut acc = Accumulator::new();
+        let mut out = vec![0i8; self.out_features];
+        for (o, out_code) in out.iter_mut().enumerate() {
+            let wbase = o * self.in_features;
+            *out_code = mac_reduce(
+                &xs,
+                &self.weights[wbase..wbase + self.in_features],
+                self.bias[o],
+                acc_frac,
+                self.out_frac as i32,
+                tree,
+                &mut acc,
+            )?;
+        }
+        Ok(out)
+    }
+}
+
+/// One neuron's multi-cycle MAC reduction: shift-multiply chunks of
+/// `tree.fan_in()` synapses, sum each chunk through the widening tree,
+/// accumulate, add bias, and route to the 8-bit output format.
+fn mac_reduce(
+    xs: &[i32],
+    ws: &[Pow2Weight],
+    bias: i64,
+    acc_frac: i32,
+    out_frac: i32,
+    tree: &AdderTree,
+    acc: &mut Accumulator,
+) -> Result<i8> {
+    debug_assert_eq!(xs.len(), ws.len());
+    let fan_in = tree.fan_in();
+    acc.reset();
+    let mut products = vec![0i32; fan_in];
+    for (xc, wc) in xs.chunks(fan_in).zip(ws.chunks(fan_in)) {
+        for (p, (x, w)) in products.iter_mut().zip(xc.iter().zip(wc)) {
+            *p = w.mul_shift(*x);
+        }
+        // Final partial chunk: unused lanes contribute zero products.
+        for p in products.iter_mut().skip(xc.len()) {
+            *p = 0;
+        }
+        acc.add(tree.sum(&products)?)?;
+    }
+    acc.add(bias)?;
+    Ok(acc.route(acc_frac, out_frac, 8) as i8)
+}
+
+/// ReLU on activation codes (the NL unit): `max(0, code)`.
+pub fn relu_codes(codes: &mut [i8]) {
+    for c in codes {
+        if *c < 0 {
+            *c = 0;
+        }
+    }
+}
+
+/// Max pooling on activation codes. Monotone, so pooling codes equals
+/// pooling values: no precision concerns.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadInput`] on a length mismatch.
+pub fn max_pool_codes(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+) -> Result<Vec<i8>> {
+    pool_codes(input, channels, in_h, in_w, window, stride, true)
+}
+
+/// Average pooling on activation codes with round-half-away integer
+/// division.
+///
+/// Hardware note: window populations here are 1–9; division by a small
+/// constant is realised as a shift-add constant multiplier (a few adders),
+/// preserving the multiplier-free property. The cycle model charges the
+/// pooling unit accordingly.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadInput`] on a length mismatch.
+pub fn avg_pool_codes(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+) -> Result<Vec<i8>> {
+    pool_codes(input, channels, in_h, in_w, window, stride, false)
+}
+
+fn pool_codes(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    is_max: bool,
+) -> Result<Vec<i8>> {
+    let expect = channels * in_h * in_w;
+    if input.len() != expect {
+        return Err(AccelError::BadInput { expected: expect, actual: input.len() });
+    }
+    if window == 0 || stride == 0 {
+        return Err(AccelError::BadConfig("pool window/stride must be positive".into()));
+    }
+    // Ceil-mode output size, matching the float framework.
+    let oh = (in_h - window.min(in_h) + stride - 1) / stride + 1;
+    let ow = (in_w - window.min(in_w) + stride - 1) / stride + 1;
+    let mut out = vec![0i8; channels * oh * ow];
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let y0 = oy * stride;
+                let x0 = ox * stride;
+                let y1 = (y0 + window).min(in_h);
+                let x1 = (x0 + window).min(in_w);
+                let v = if is_max {
+                    let mut best = i8::MIN;
+                    for iy in y0..y1 {
+                        for ix in x0..x1 {
+                            best = best.max(input[(c * in_h + iy) * in_w + ix]);
+                        }
+                    }
+                    best
+                } else {
+                    let mut sum = 0i32;
+                    let count = ((y1 - y0) * (x1 - x0)) as i32;
+                    for iy in y0..y1 {
+                        for ix in x0..x1 {
+                            sum += input[(c * in_h + iy) * in_w + ix] as i32;
+                        }
+                    }
+                    // Round half away from zero.
+                    let half = count / 2;
+                    let q = if sum >= 0 { (sum + half) / count } else { -((-sum + half) / count) };
+                    q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+                };
+                out[(c * oh + oy) * ow + ox] = v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_dfp::DfpFormat;
+
+    fn tree16() -> AdderTree {
+        AdderTree::new(16).unwrap()
+    }
+
+    #[test]
+    fn shift_linear_matches_float_reference() {
+        // 4 inputs in ⟨8,7⟩, weights exact powers of two: the integer path
+        // must agree with exact real arithmetic.
+        let in_fmt = DfpFormat::q8(7);
+        let xs = [0.5f32, -0.25, 0.75, 0.125];
+        let ws = [0.5f32, -0.5, 0.25, 1.0, -1.0, 0.125, 0.5, -0.25];
+        let layer = ShiftLinear {
+            in_features: 4,
+            out_features: 2,
+            weights: ws.iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+            bias: vec![0, 0],
+            in_frac: 7,
+            out_frac: 5,
+        };
+        let codes: Vec<i8> = xs.iter().map(|&x| in_fmt.quantize(x) as i8).collect();
+        let out = layer.run(&codes, &tree16()).unwrap();
+        let out_fmt = DfpFormat::q8(5);
+        for (o, row) in out.iter().enumerate() {
+            let expect: f32 = xs.iter().zip(&ws[o * 4..(o + 1) * 4]).map(|(x, w)| x * w).sum();
+            let got = out_fmt.dequantize(*row as i32);
+            assert!((got - expect).abs() <= out_fmt.step(), "neuron {o}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn bias_is_added_in_accumulator_format() {
+        let layer = ShiftLinear {
+            in_features: 1,
+            out_features: 1,
+            weights: vec![Pow2Weight::from_f32(1.0)],
+            bias: vec![1 << 11], // 1.0 at fractional length m+7 = 11
+            in_frac: 4,
+            out_frac: 4,
+        };
+        let out = layer.run(&[0], &tree16()).unwrap();
+        // 0·w + 1.0 → code 16 in ⟨8,4⟩.
+        assert_eq!(out[0], 16);
+    }
+
+    #[test]
+    fn routing_saturates_output() {
+        let layer = ShiftLinear {
+            in_features: 4,
+            out_features: 1,
+            weights: vec![Pow2Weight::from_f32(1.0); 4],
+            bias: vec![0],
+            in_frac: 0,
+            out_frac: 7, // huge upscale forces saturation
+        };
+        let out = layer.run(&[100, 100, 100, 100], &tree16()).unwrap();
+        assert_eq!(out[0], 127);
+    }
+
+    fn dummy_linear(inf: usize, outf: usize) -> ShiftLinear {
+        ShiftLinear {
+            in_features: inf,
+            out_features: outf,
+            weights: vec![Pow2Weight::from_f32(0.5); inf * outf],
+            bias: vec![0; outf],
+            in_frac: 7,
+            out_frac: 7,
+        }
+    }
+
+    #[test]
+    fn linear_validates_lengths() {
+        let l = dummy_linear(4, 2);
+        assert!(l.run(&[0; 3], &tree16()).is_err());
+        let mut bad = dummy_linear(4, 2);
+        bad.weights.pop();
+        assert!(bad.run(&[0; 4], &tree16()).is_err());
+    }
+
+    #[test]
+    fn shift_conv_matches_dequantized_reference() {
+        // 1×3×3 input, one 2×2 kernel, exact power-of-two values.
+        let geom = ConvGeometry::new(1, 3, 3, 1, 2, 1, 0).unwrap();
+        let in_fmt = DfpFormat::q8(6);
+        let xvals = [0.5f32, 0.25, -0.5, 1.0, -0.25, 0.125, 0.5, 0.5, -1.0];
+        let wvals = [0.5f32, -0.5, 0.25, 1.0];
+        let layer = ShiftConv {
+            geom,
+            weights: wvals.iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+            bias: vec![0],
+            in_frac: 6,
+            out_frac: 5,
+        };
+        let codes: Vec<i8> = xvals.iter().map(|&x| in_fmt.quantize(x) as i8).collect();
+        let out = layer.run(&codes, &tree16()).unwrap();
+        assert_eq!(out.len(), 4);
+        let out_fmt = DfpFormat::q8(5);
+        // Manually compute expected top-left output.
+        let expect = 0.5 * 0.5 + 0.25 * (-0.5) + 1.0 * 0.25 + (-0.25) * 1.0;
+        let got = out_fmt.dequantize(out[0] as i32);
+        assert!((got - expect).abs() <= out_fmt.step(), "{got} vs {expect}");
+    }
+
+    #[test]
+    fn conv_padding_contributes_zero() {
+        let geom = ConvGeometry::new(1, 2, 2, 1, 3, 1, 1).unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: vec![Pow2Weight::from_f32(1.0); 9],
+            bias: vec![0],
+            in_frac: 0,
+            out_frac: 0,
+        };
+        let out = layer.run(&[1, 1, 1, 1], &tree16()).unwrap();
+        // Centre of the 2×2 output: each position sees all four ones.
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn grouped_shift_conv_blocks_cross_group_paths() {
+        // 2 input channels, 2 output channels, 2 groups, 1×1 kernels of
+        // weight 1: output c equals input c exactly — no cross-talk.
+        let geom = ConvGeometry::new(2, 2, 2, 2, 1, 1, 0)
+            .unwrap()
+            .with_groups(2)
+            .unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: vec![Pow2Weight::from_f32(1.0); 2],
+            bias: vec![0, 0],
+            in_frac: 0,
+            out_frac: 0,
+        };
+        let input = [1i8, 2, 3, 4, 10, 20, 30, 40];
+        let out = layer.run(&input, &tree16()).unwrap();
+        assert_eq!(out, input.to_vec());
+    }
+
+    #[test]
+    fn relu_codes_clamps() {
+        let mut codes = [-5i8, 0, 7, -128, 127];
+        relu_codes(&mut codes);
+        assert_eq!(codes, [0, 0, 7, 0, 127]);
+    }
+
+    #[test]
+    fn max_pool_codes_matches_scalar_max() {
+        let input = [1i8, 9, 2, 3, 4, 5, 8, 6, 7];
+        let out = max_pool_codes(&input, 1, 3, 3, 3, 3).unwrap();
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn avg_pool_codes_rounds_half_away() {
+        // Window {1,2,3,4} sums to 10, /4 = 2.5 → 3.
+        let out = avg_pool_codes(&[1, 2, 3, 4], 1, 2, 2, 2, 2).unwrap();
+        assert_eq!(out, vec![3]);
+        // Negative: {-1,-2,-3,-4} → -2.5 → -3.
+        let out = avg_pool_codes(&[-1, -2, -3, -4], 1, 2, 2, 2, 2).unwrap();
+        assert_eq!(out, vec![-3]);
+    }
+
+    #[test]
+    fn pool_validates_input_length() {
+        assert!(max_pool_codes(&[0; 5], 1, 3, 3, 2, 2).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! The functional-correctness contract of the datapath: for *any*
+//! geometry, weights and activations, the integer shift pipeline computes
+//! exactly the fixed-point convolution that an infinitely precise
+//! reference would, up to the single documented rounding at the routing
+//! stage.
+
+use mfdfp_accel::{ShiftConv, ShiftLinear};
+use mfdfp_dfp::{AdderTree, DfpFormat, Pow2Weight};
+use mfdfp_tensor::ConvGeometry;
+use proptest::prelude::*;
+
+/// Exact f64 convolution over dequantized operands.
+#[allow(clippy::too_many_arguments)]
+fn reference_conv(
+    input: &[i8],
+    weights: &[Pow2Weight],
+    bias: &[i64],
+    g: &ConvGeometry,
+    in_frac: i8,
+    out_frac: i8,
+) -> Vec<f64> {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let k = g.kernel;
+    let group_in = g.in_c / g.groups;
+    let group_out = g.out_c / g.groups;
+    let acc_step = 2f64.powi(-(in_frac as i32 + 7));
+    let mut out = Vec::with_capacity(g.out_c * oh * ow);
+    for oc in 0..g.out_c {
+        let c_lo = (oc / group_out) * group_in;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[oc] as f64 * acc_step;
+                for ci in 0..group_in {
+                    let c = c_lo + ci;
+                    for ky in 0..k {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let x = input[(c * g.in_h + iy as usize) * g.in_w + ix as usize];
+                            let w =
+                                weights[(oc * group_in + ci) * k * k + ky * k + kx];
+                            acc += (x as f64) * 2f64.powi(-(in_frac as i32))
+                                * w.to_f32() as f64;
+                        }
+                    }
+                }
+                let _ = out_frac;
+                out.push(acc);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ShiftConv == exact fixed-point convolution within half an output
+    /// LSB, across randomized geometries (incl. stride/pad/groups).
+    #[test]
+    fn shift_conv_matches_exact_reference(
+        seed in 0u64..10_000,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        grouped in proptest::bool::ANY,
+    ) {
+        let in_c = if grouped { 4 } else { 3 };
+        let out_c = if grouped { 4 } else { 5 };
+        let hw = 6usize;
+        if hw + 2 * pad < kernel {
+            return Ok(());
+        }
+        let mut g = ConvGeometry::new(in_c, hw, hw, out_c, kernel, stride, pad).unwrap();
+        if grouped {
+            g = g.with_groups(2).unwrap();
+        }
+        // Deterministic pseudo-random operands from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let input: Vec<i8> =
+            (0..in_c * hw * hw).map(|_| (next() % 256) as u8 as i8).collect();
+        let weights: Vec<Pow2Weight> = (0..g.weight_count())
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let bias: Vec<i64> = (0..out_c).map(|_| (next() % 2048) as i64 - 1024).collect();
+        let in_frac = 6i8;
+        let out_frac = 2i8; // coarse output to avoid saturation in most cases
+
+        let layer = ShiftConv {
+            geom: g,
+            weights: weights.clone(),
+            bias: bias.clone(),
+            in_frac,
+            out_frac,
+        };
+        let tree = AdderTree::new(16).unwrap();
+        let got = layer.run(&input, &tree).unwrap();
+        let exact = reference_conv(&input, &weights, &bias, &g, in_frac, out_frac);
+        let out_fmt = DfpFormat::q8(out_frac);
+        let step = out_fmt.step() as f64;
+        for (i, (&code, &want)) in got.iter().zip(&exact).enumerate() {
+            let dequant = code as f64 * step;
+            if want > out_fmt.max_value() as f64 {
+                prop_assert_eq!(code, 127, "position {} should saturate high", i);
+            } else if want < out_fmt.min_value() as f64 {
+                prop_assert_eq!(code, -128, "position {} should saturate low", i);
+            } else {
+                prop_assert!(
+                    (dequant - want).abs() <= step / 2.0 + 1e-9,
+                    "position {}: datapath {} vs exact {}",
+                    i, dequant, want
+                );
+            }
+        }
+    }
+
+    /// The same contract for fully-connected layers with arbitrary widths
+    /// (including non-multiples of the 16-lane tree, exercising the
+    /// zero-padded final chunk).
+    #[test]
+    fn shift_linear_matches_exact_reference(
+        seed in 0u64..10_000,
+        in_features in 1usize..40,
+        out_features in 1usize..6,
+    ) {
+        let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let input: Vec<i8> = (0..in_features).map(|_| (next() % 256) as u8 as i8).collect();
+        let weights: Vec<Pow2Weight> = (0..in_features * out_features)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let bias: Vec<i64> = (0..out_features).map(|_| (next() % 512) as i64 - 256).collect();
+        let (in_frac, out_frac) = (7i8, 1i8);
+        let layer = ShiftLinear {
+            in_features,
+            out_features,
+            weights: weights.clone(),
+            bias: bias.clone(),
+            in_frac,
+            out_frac,
+        };
+        let tree = AdderTree::new(16).unwrap();
+        let got = layer.run(&input, &tree).unwrap();
+        let acc_step = 2f64.powi(-(in_frac as i32 + 7));
+        let out_fmt = DfpFormat::q8(out_frac);
+        let step = out_fmt.step() as f64;
+        for o in 0..out_features {
+            let mut want = bias[o] as f64 * acc_step;
+            for i in 0..in_features {
+                want += (input[i] as f64) * 2f64.powi(-(in_frac as i32))
+                    * weights[o * in_features + i].to_f32() as f64;
+            }
+            let dequant = got[o] as f64 * step;
+            if want > out_fmt.max_value() as f64 {
+                prop_assert_eq!(got[o], 127);
+            } else if want < out_fmt.min_value() as f64 {
+                prop_assert_eq!(got[o], -128);
+            } else {
+                prop_assert!(
+                    (dequant - want).abs() <= step / 2.0 + 1e-9,
+                    "neuron {}: {} vs {}", o, dequant, want
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the accelerator model: the functional datapath
+//! against exact arithmetic, and structural invariants of the cost model.
+
+use mfdfp_accel::{
+    avg_pool_codes, design_metrics, max_pool_codes, relu_codes, schedule_network,
+    AcceleratorConfig, ComponentLibrary, DmaModel, Precision, ShiftLinear,
+};
+use mfdfp_dfp::{AdderTree, Pow2Weight};
+use mfdfp_nn::zoo;
+use mfdfp_tensor::TensorRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The shift-linear layer computes the exact fixed-point dot product:
+    /// against f64 arithmetic on the dequantized operands, the result is
+    /// within half an output LSB (the routing round) for non-saturating
+    /// outputs.
+    #[test]
+    fn shift_linear_is_exact_fixed_point(
+        codes in proptest::collection::vec(-128i32..=127, 16),
+        wcodes in proptest::collection::vec(0u8..16, 16),
+    ) {
+        let weights: Vec<Pow2Weight> =
+            wcodes.iter().map(|&c| Pow2Weight::decode4(c).unwrap()).collect();
+        let layer = ShiftLinear {
+            in_features: 16,
+            out_features: 1,
+            weights: weights.clone(),
+            bias: vec![0],
+            in_frac: 7,
+            out_frac: 3,
+        };
+        let input: Vec<i8> = codes.iter().map(|&c| c as i8).collect();
+        let tree = AdderTree::new(16).unwrap();
+        let out = layer.run(&input, &tree).unwrap();
+        // Exact value in f64.
+        let exact: f64 = input
+            .iter()
+            .zip(&weights)
+            .map(|(&x, w)| (x as f64) * 2f64.powi(-7) * w.to_f32() as f64)
+            .sum();
+        let step = 2f64.powi(-3);
+        let dequant = out[0] as f64 * step;
+        if (-128.0 * step..=127.0 * step).contains(&exact) {
+            prop_assert!((dequant - exact).abs() <= step / 2.0 + 1e-12,
+                "{dequant} vs {exact}");
+        } else {
+            // Saturated: must sit at a rail.
+            prop_assert!(out[0] == 127 || out[0] == -128);
+        }
+    }
+
+    /// ReLU on codes is idempotent and non-negative.
+    #[test]
+    fn relu_codes_properties(mut codes in proptest::collection::vec(-128i8..=127, 32)) {
+        relu_codes(&mut codes);
+        prop_assert!(codes.iter().all(|&c| c >= 0));
+        let copy = codes.clone();
+        relu_codes(&mut codes);
+        prop_assert_eq!(codes, copy);
+    }
+
+    /// Max pooling of codes commutes with ReLU: relu(maxpool(x)) ==
+    /// maxpool(relu(x)) for window == input (single window per channel).
+    #[test]
+    fn max_pool_commutes_with_relu(codes in proptest::collection::vec(-128i8..=127, 16)) {
+        let a = {
+            let mut pooled = max_pool_codes(&codes, 1, 4, 4, 4, 4).unwrap();
+            relu_codes(&mut pooled);
+            pooled
+        };
+        let b = {
+            let mut c = codes.clone();
+            relu_codes(&mut c);
+            max_pool_codes(&c, 1, 4, 4, 4, 4).unwrap()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// Avg pooling of codes stays within the min/max of the window.
+    #[test]
+    fn avg_pool_codes_bounded(codes in proptest::collection::vec(-128i8..=127, 16)) {
+        let out = avg_pool_codes(&codes, 1, 4, 4, 4, 4).unwrap();
+        let lo = *codes.iter().min().unwrap();
+        let hi = *codes.iter().max().unwrap();
+        prop_assert!(out[0] >= lo && out[0] <= hi);
+    }
+
+    /// Design metrics scale monotonically with PU count, and the marginal
+    /// cost of each extra PU is constant (control amortised).
+    #[test]
+    fn design_cost_affine_in_pus(pus in 1usize..6) {
+        let lib = ComponentLibrary::calibrated_65nm();
+        let mut cfg = AcceleratorConfig::paper_mf_dfp();
+        cfg.num_pus = pus;
+        let m = design_metrics(&cfg, &lib).unwrap();
+        cfg.num_pus = pus + 1;
+        let m2 = design_metrics(&cfg, &lib).unwrap();
+        cfg.num_pus = 1;
+        let one = design_metrics(&cfg, &lib).unwrap();
+        cfg.num_pus = 2;
+        let two = design_metrics(&cfg, &lib).unwrap();
+        let marginal = two.area_mm2 - one.area_mm2;
+        prop_assert!((m2.area_mm2 - m.area_mm2 - marginal).abs() < 1e-9);
+        prop_assert!(m2.power_mw > m.power_mw);
+    }
+
+    /// FP32 designs always cost more than MF-DFP at the same organisation.
+    #[test]
+    fn fp32_always_costs_more(neurons in 1usize..5, log_syn in 1u32..6) {
+        let lib = ComponentLibrary::calibrated_65nm();
+        let mut cfg = AcceleratorConfig::paper_mf_dfp();
+        cfg.neurons = neurons * 8;
+        cfg.synapses = 1 << log_syn;
+        let mf = design_metrics(&cfg, &lib).unwrap();
+        cfg.precision = Precision::Fp32;
+        let fp = design_metrics(&cfg, &lib).unwrap();
+        prop_assert!(fp.area_mm2 > mf.area_mm2);
+        prop_assert!(fp.power_mw > mf.power_mw);
+    }
+
+    /// Scheduling is monotone in lane count: more lanes, fewer (or equal)
+    /// cycles.
+    #[test]
+    fn schedule_monotone_in_lanes(log_syn in 2u32..6) {
+        let mut rng = TensorRng::seed_from(0);
+        let net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng).unwrap();
+        let mut small = AcceleratorConfig::paper_mf_dfp();
+        small.synapses = 1 << log_syn;
+        let mut big = small;
+        big.synapses = 1 << (log_syn + 1);
+        let s_small = schedule_network(&net, &small, DmaModel::Overlapped).unwrap();
+        let s_big = schedule_network(&net, &big, DmaModel::Overlapped).unwrap();
+        prop_assert!(s_big.total_cycles <= s_small.total_cycles);
+    }
+
+    /// Limited DMA never makes a schedule faster than overlapped DMA.
+    #[test]
+    fn limited_dma_never_faster(bw in 1.0f64..256.0) {
+        let mut rng = TensorRng::seed_from(0);
+        let net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng).unwrap();
+        let cfg = AcceleratorConfig::paper_mf_dfp();
+        let free = schedule_network(&net, &cfg, DmaModel::Overlapped).unwrap();
+        let limited =
+            schedule_network(&net, &cfg, DmaModel::Limited { bytes_per_cycle: bw }).unwrap();
+        prop_assert!(limited.total_cycles >= free.total_cycles);
+    }
+}

@@ -1,0 +1,44 @@
+//! Timing ablations of the numeric machinery itself: what the fake-quant
+//! layers cost during training, what the adder-tree audits cost during
+//! simulation, and how parameter syncing scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mfdfp_core::{build_working_net, calibrate, sync_quantized_params};
+use mfdfp_dfp::AdderTree;
+use mfdfp_nn::{zoo, Phase};
+use mfdfp_tensor::TensorRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let mut net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng).expect("topology");
+    let batch = rng.gaussian([4, 3, 16, 16], 0.0, 0.6);
+    let calib = vec![(batch.clone(), vec![0usize; 4])];
+    let plan = calibrate(&mut net, &calib, 8).expect("calibration");
+    let mut working = build_working_net(&net, &plan);
+    sync_quantized_params(&net, &mut working, &plan);
+
+    c.bench_function("forward_float_master", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batch), Phase::Eval).expect("fw")))
+    });
+    c.bench_function("forward_fake_quant_working", |b| {
+        b.iter(|| black_box(working.forward(black_box(&batch), Phase::Eval).expect("fw")))
+    });
+    c.bench_function("sync_quantized_params", |b| {
+        b.iter(|| {
+            sync_quantized_params(black_box(&net), &mut working, &plan);
+            black_box(&working);
+        })
+    });
+
+    let tree = AdderTree::new(16).expect("tree");
+    let products: Vec<i32> = (0..16).map(|i| (i * 991 - 8000) as i32).collect();
+    c.bench_function("adder_tree_audited_sum16", |b| {
+        b.iter(|| black_box(tree.sum(black_box(&products)).expect("sum")))
+    });
+    c.bench_function("plain_sum16", |b| {
+        b.iter(|| black_box(black_box(&products).iter().map(|&p| p as i64).sum::<i64>()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Accelerator-model throughput: cycle scheduling and design composition
+//! for the paper's exact topologies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mfdfp_accel::{
+    design_metrics, schedule_network, AcceleratorConfig, ComponentLibrary, DmaModel,
+};
+use mfdfp_nn::zoo;
+use mfdfp_tensor::TensorRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let cifar = zoo::cifar10_full(10, &mut rng).expect("topology");
+    let alexnet = zoo::alexnet(1000, false, &mut rng).expect("topology");
+    let lib = ComponentLibrary::calibrated_65nm();
+    let cfg = AcceleratorConfig::paper_mf_dfp();
+
+    c.bench_function("schedule_cifar10_full", |b| {
+        b.iter(|| black_box(schedule_network(black_box(&cifar), &cfg, DmaModel::Overlapped)))
+    });
+    c.bench_function("schedule_alexnet", |b| {
+        b.iter(|| black_box(schedule_network(black_box(&alexnet), &cfg, DmaModel::Overlapped)))
+    });
+    c.bench_function("compose_design_metrics", |b| {
+        b.iter(|| black_box(design_metrics(black_box(&cfg), &lib)))
+    });
+    let limited = DmaModel::Limited { bytes_per_cycle: 32.0 };
+    c.bench_function("schedule_alexnet_limited_dma", |b| {
+        b.iter(|| black_box(schedule_network(black_box(&alexnet), &cfg, limited)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

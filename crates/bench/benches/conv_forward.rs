@@ -1,0 +1,45 @@
+//! Convolution throughput: float im2col+GEMM forward vs the bit-accurate
+//! integer shift datapath on the same geometry.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mfdfp_accel::ShiftConv;
+use mfdfp_dfp::{AdderTree, Pow2Weight};
+use mfdfp_tensor::{conv2d_forward, ConvGeometry, Tensor, TensorRng};
+
+fn bench(c: &mut Criterion) {
+    // A mid-size layer: 16×16×16 input, 16 kernels of 5×5.
+    let g = ConvGeometry::new(16, 16, 16, 16, 5, 1, 2).expect("geometry");
+    let mut rng = TensorRng::seed_from(3);
+    let x = rng.gaussian([1, g.in_c, g.in_h, g.in_w], 0.0, 0.5);
+    let w = rng.he([g.out_c, g.in_c, g.kernel, g.kernel], g.col_height());
+    let bias = Tensor::zeros([g.out_c]);
+
+    let mut group = c.benchmark_group("conv_forward");
+
+    group.bench_function("float_im2col_gemm", |b| {
+        b.iter(|| black_box(conv2d_forward(black_box(&x), &w, &bias, &g).expect("conv")))
+    });
+
+    let shift = ShiftConv {
+        geom: g,
+        weights: w.as_slice().iter().map(|&v| Pow2Weight::from_f32(v)).collect(),
+        bias: vec![0; g.out_c],
+        in_frac: 7,
+        out_frac: 5,
+    };
+    let codes: Vec<i8> = x
+        .index_axis0(0)
+        .as_slice()
+        .iter()
+        .map(|&v| (v * 128.0).clamp(-128.0, 127.0) as i8)
+        .collect();
+    let tree = AdderTree::new(16).expect("tree");
+    group.bench_function("integer_shift_datapath", |b| {
+        b.iter(|| black_box(shift.run(black_box(&codes), &tree).expect("shift conv")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

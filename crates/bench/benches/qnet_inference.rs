@@ -1,0 +1,30 @@
+//! End-to-end inference: float network forward vs integer-only quantized
+//! forward (the deployed MF-DFP artifact) on the same inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mfdfp_core::{calibrate, QuantizedNet};
+use mfdfp_nn::{zoo, Phase};
+use mfdfp_tensor::TensorRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(12);
+    let mut net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng).expect("topology");
+    let batch = rng.gaussian([4, 3, 16, 16], 0.0, 0.6);
+    let calib = vec![(batch.clone(), vec![0usize; 4])];
+    let plan = calibrate(&mut net, &calib, 8).expect("calibration");
+    let qnet = QuantizedNet::from_network(&net, &plan).expect("quantize");
+
+    c.bench_function("float_forward_batch4", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batch), Phase::Eval).expect("forward")))
+    });
+    c.bench_function("quantized_integer_forward_batch4", |b| {
+        b.iter(|| black_box(qnet.logits_batch(black_box(&batch)).expect("forward")))
+    });
+    let img = batch.index_axis0(0);
+    c.bench_function("quantized_single_image_codes", |b| {
+        b.iter(|| black_box(qnet.forward_codes(black_box(&img)).expect("forward")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

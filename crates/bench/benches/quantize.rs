@@ -1,0 +1,46 @@
+//! Quantization-path throughput: activation codes, weight codecs, range
+//! calibration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mfdfp_dfp::{pack_nibbles, quantize_weights, DfpFormat, RangeStats};
+use mfdfp_tensor::TensorRng;
+
+const N: usize = 1 << 14;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(7);
+    let values: Vec<f32> = rng.gaussian([N], 0.0, 0.5).into_vec();
+    let fmt = DfpFormat::q8(5);
+
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("dfp_quantize_slice", |b| {
+        b.iter(|| black_box(fmt.quantize_slice(black_box(&values))))
+    });
+
+    let codes = fmt.quantize_slice(&values);
+    group.bench_function("dfp_dequantize_slice", |b| {
+        b.iter(|| black_box(fmt.dequantize_slice(black_box(&codes))))
+    });
+
+    group.bench_function("pow2_quantize_and_pack", |b| {
+        b.iter(|| {
+            let q = quantize_weights(black_box(&values));
+            black_box(pack_nibbles(&q))
+        })
+    });
+
+    group.bench_function("range_stats_observe", |b| {
+        b.iter(|| {
+            let mut stats = RangeStats::new();
+            stats.observe_slice(black_box(&values));
+            black_box(stats.choose_format(8))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

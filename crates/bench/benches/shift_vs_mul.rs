@@ -1,0 +1,57 @@
+//! The claim behind the hardware: multiplication by a power-of-two weight
+//! is a shift. Software analogue: integer shift-MAC vs f32 multiply-MAC
+//! throughput on the same operand streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mfdfp_dfp::Pow2Weight;
+use mfdfp_tensor::TensorRng;
+
+const N: usize = 1 << 14;
+
+fn operands() -> (Vec<f32>, Vec<f32>, Vec<i32>, Vec<Pow2Weight>) {
+    let mut rng = TensorRng::seed_from(42);
+    let xs_f: Vec<f32> = rng.uniform([N], -1.0, 1.0).into_vec();
+    let ws_f: Vec<f32> = rng.uniform([N], -1.0, 1.0).into_vec();
+    let xs_i: Vec<i32> = xs_f.iter().map(|&x| (x * 127.0) as i32).collect();
+    let ws_q: Vec<Pow2Weight> = ws_f.iter().map(|&w| Pow2Weight::from_f32(w)).collect();
+    (xs_f, ws_f, xs_i, ws_q)
+}
+
+fn bench(c: &mut Criterion) {
+    let (xs_f, ws_f, xs_i, ws_q) = operands();
+    let mut group = c.benchmark_group("mac_lane");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("f32_multiply_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (x, w) in xs_f.iter().zip(&ws_f) {
+                acc += x * w;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("pow2_shift_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for (x, w) in xs_i.iter().zip(&ws_q) {
+                acc += w.mul_shift(*x) as i64;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("pow2_quantize_weights", |b| {
+        b.iter(|| {
+            let q: Vec<Pow2Weight> =
+                ws_f.iter().map(|&w| Pow2Weight::from_f32(black_box(w))).collect();
+            black_box(q)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates **Table 1** of the paper: design area and power of the
+//! proposed MF-DFP accelerator against the floating-point baseline.
+//!
+//! ```text
+//! cargo run -p mfdfp-bench --bin table1 --release
+//! ```
+//!
+//! The FP32 row calibrates the 65 nm component library; the MF-DFP and
+//! ensemble rows are *predicted* by composing the same components — the
+//! savings columns are outputs of the model.
+
+use mfdfp_accel::{design_metrics, AcceleratorConfig, ComponentLibrary};
+
+fn main() {
+    let lib = ComponentLibrary::calibrated_65nm();
+    let fp_cfg = AcceleratorConfig::paper_fp32();
+    let mf_cfg = AcceleratorConfig::paper_mf_dfp();
+    let ens_cfg = AcceleratorConfig::paper_ensemble();
+
+    let fp = design_metrics(&fp_cfg, &lib).expect("valid config");
+    let mf = design_metrics(&mf_cfg, &lib).expect("valid config");
+    let ens = design_metrics(&ens_cfg, &lib).expect("valid config");
+
+    println!("Table 1: Design metrics of the proposed MF-DFP accelerator");
+    println!("         against the floating-point baseline (65 nm, 250 MHz)\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12}",
+        "Precision (in,w)", "Area (mm2)", "Power (mW)", "AreaSav(%)", "PowerSav(%)"
+    );
+    mfdfp_bench::rule(80);
+    let rows = [
+        ("Floating-point(32,32)", &fp),
+        ("Proposed MF-DFP(8,4)", &mf),
+        ("Ens. MF-DFP(8,4)", &ens),
+    ];
+    for (name, m) in rows {
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            m.area_mm2,
+            m.power_mw,
+            m.area_saving_vs(&fp),
+            m.power_saving_vs(&fp)
+        );
+    }
+
+    println!("\nPaper reference (Table 1):");
+    println!("  Floating-point(32,32)   16.52 mm2   1361.61 mW     0.00%      0.00%");
+    println!("  Proposed MF-DFP(8,4)     1.99 mm2    138.96 mW    87.97%     89.79%");
+    println!("  Ens. MF-DFP(8,4)         3.96 mm2    270.27 mW    76.00%     80.15%");
+
+    println!("\nComponent breakdown, MF-DFP(8,4):");
+    for line in &mf.breakdown {
+        println!(
+            "  {:<36} ×{:<8} {:>10.4} mm2 {:>10.2} mW",
+            line.component,
+            line.count,
+            line.cost.area_mm2(),
+            line.cost.power_mw
+        );
+    }
+    println!("\nComponent breakdown, Floating-point(32,32):");
+    for line in &fp.breakdown {
+        println!(
+            "  {:<36} ×{:<8} {:>10.4} mm2 {:>10.2} mW",
+            line.component,
+            line.count,
+            line.cost.area_mm2(),
+            line.cost.power_mw
+        );
+    }
+}

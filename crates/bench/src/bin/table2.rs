@@ -1,0 +1,232 @@
+//! Regenerates **Table 2** of the paper: classification accuracy,
+//! inference time, energy and energy saving for CIFAR-10 and ImageNet on
+//! the FP32 baseline, the single MF-DFP network, and the two-network
+//! ensemble.
+//!
+//! ```text
+//! cargo run -p mfdfp-bench --bin table2 --release
+//! ```
+//!
+//! Methodology (DESIGN.md §3, §5):
+//! * **Time and energy** come from the exact paper topologies
+//!   (cifar10-full, ungrouped AlexNet) on the cycle scheduler and the
+//!   calibrated power model — no training involved.
+//! * **Accuracy** comes from CPU-scale stand-ins: reduced-width networks
+//!   of the same layer pattern trained on the synthetic datasets, pushed
+//!   through the full Algorithm 1 pipeline (Phases 1–3). Absolute values
+//!   differ from the paper (different data); the *orderings* — MF-DFP
+//!   within ~1% of float, ensemble above float — are the reproduction
+//!   target.
+
+use mfdfp_accel::{
+    design_metrics, schedule_network, AcceleratorConfig, ComponentLibrary, DmaModel, RunReport,
+};
+use mfdfp_bench::{float_accuracy, pretrain_float_converged};
+use mfdfp_core::{run_pipeline, Ensemble, PipelineConfig};
+use mfdfp_data::{Batcher, Split, SynthSpec};
+use mfdfp_nn::{zoo, Accuracy, Network};
+use mfdfp_tensor::TensorRng;
+
+struct HwNumbers {
+    fp: RunReport,
+    mf: RunReport,
+    ens: RunReport,
+}
+
+fn hardware_numbers(exact_net: &Network) -> HwNumbers {
+    let lib = ComponentLibrary::calibrated_65nm();
+    let fp_cfg = AcceleratorConfig::paper_fp32();
+    let mf_cfg = AcceleratorConfig::paper_mf_dfp();
+    let ens_cfg = AcceleratorConfig::paper_ensemble();
+    let fp = RunReport::from_schedule(
+        &schedule_network(exact_net, &fp_cfg, DmaModel::Overlapped).expect("schedule"),
+        &design_metrics(&fp_cfg, &lib).expect("design"),
+    );
+    let mf = RunReport::from_schedule(
+        &schedule_network(exact_net, &mf_cfg, DmaModel::Overlapped).expect("schedule"),
+        &design_metrics(&mf_cfg, &lib).expect("design"),
+    );
+    // Ensemble: both members run in parallel on their own PUs — latency of
+    // one member, power of the two-PU design.
+    let ens = RunReport::from_schedule(
+        &schedule_network(exact_net, &mf_cfg, DmaModel::Overlapped).expect("schedule"),
+        &design_metrics(&ens_cfg, &lib).expect("design"),
+    );
+    HwNumbers { fp, mf, ens }
+}
+
+struct AccNumbers {
+    fp: (f32, f32),
+    mf: (f32, f32),
+    ens: (f32, f32),
+}
+
+/// Trains two float networks from different seeds, runs Algorithm 1 on
+/// each, and evaluates single-network and ensemble accuracy with the
+/// integer inference engine.
+fn accuracy_numbers(
+    mut make_net: impl FnMut(u64) -> Network,
+    split: &Split,
+    k: usize,
+    pipeline: &PipelineConfig,
+) -> AccNumbers {
+    // Member 1 is also the float reference, trained to convergence.
+    let mut float1 = pretrain_float_converged(make_net(1), split, 30, 0.015, 32, 101);
+    let fp = float_accuracy(&mut float1, &split.test, 32, k);
+
+    let float2 = pretrain_float_converged(make_net(2), split, 30, 0.015, 32, 202);
+
+    let out1 = run_pipeline(float1, &split.train, &split.test, pipeline).expect("pipeline 1");
+    let mut cfg2 = *pipeline;
+    cfg2.seed ^= 0xFFFF;
+    let out2 = run_pipeline(float2, &split.train, &split.test, &cfg2).expect("pipeline 2");
+
+    // Deployed (integer-engine) accuracies.
+    let mf = qnet_accuracy(&Ensemble::new(vec![out1.qnet.clone()]).expect("one member"), split, k);
+    let ens = qnet_accuracy(
+        &Ensemble::new(vec![out1.qnet, out2.qnet]).expect("two members"),
+        split,
+        k,
+    );
+    AccNumbers { fp, mf, ens }
+}
+
+fn qnet_accuracy(ens: &Ensemble, split: &Split, k: usize) -> (f32, f32) {
+    let batches: Vec<_> = Batcher::new(&split.test, 32).iter().collect();
+    let acc: Accuracy = ens.evaluate(batches, k).expect("quantized evaluation");
+    (acc.top1(), acc.topk())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_block(
+    title: &str,
+    hw: &HwNumbers,
+    acc: &AccNumbers,
+    k: usize,
+    paper_rows: [&str; 3],
+) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<26} {:>18} {:>12} {:>12} {:>12}",
+        "Precision", "Accuracy (%)", "Time (us)", "Energy (uJ)", "EnSav (%)"
+    );
+    mfdfp_bench::rule(86);
+    let fmt_acc = |(t1, tk): (f32, f32)| {
+        if k > 1 {
+            format!("{:.2} ({:.2})", t1 * 100.0, tk * 100.0)
+        } else {
+            format!("{:.2}", t1 * 100.0)
+        }
+    };
+    println!(
+        "{:<26} {:>18} {:>12.2} {:>12.2} {:>12.2}",
+        "Floating-Point (32,32)",
+        fmt_acc(acc.fp),
+        hw.fp.time_us,
+        hw.fp.energy_uj,
+        0.0
+    );
+    println!(
+        "{:<26} {:>18} {:>12.2} {:>12.2} {:>12.2}",
+        "MF-DFP (8,4)",
+        fmt_acc(acc.mf),
+        hw.mf.time_us,
+        hw.mf.energy_uj,
+        hw.mf.energy_saving_vs(&hw.fp)
+    );
+    println!(
+        "{:<26} {:>18} {:>12.2} {:>12.2} {:>12.2}",
+        "Ensemble MF-DFP",
+        fmt_acc(acc.ens),
+        hw.ens.time_us,
+        hw.ens.energy_uj,
+        hw.ens.energy_saving_vs(&hw.fp)
+    );
+    println!("\nPaper reference:");
+    for row in paper_rows {
+        println!("  {row}");
+    }
+}
+
+fn main() {
+    println!("Table 2: time, energy and accuracy for CIFAR-10 and ImageNet");
+    println!("(accuracy columns: synthetic stand-in datasets + reduced-width");
+    println!(" trainable variants; time/energy columns: exact paper topologies)");
+
+    // ---------------- CIFAR-10 ----------------
+    let mut rng = TensorRng::seed_from(0);
+    let cifar_exact = zoo::cifar10_full(10, &mut rng).expect("topology");
+    let cifar_hw = hardware_numbers(&cifar_exact);
+
+    // Harden the stand-in so accuracies land mid-range (not saturated):
+    // the paper's CIFAR-10 numbers sit near 81%.
+    let mut cifar_spec = SynthSpec::cifar(40, 7);
+    cifar_spec.noise = 0.8;
+    cifar_spec.max_shift = 3;
+    let cifar_split = Split::generate(&cifar_spec, 20);
+    let pipeline = PipelineConfig {
+        phase1_epochs: 6,
+        phase2_epochs: 3,
+        learning_rate: 4e-3,
+        batch_size: 32,
+        eval_k: 1,
+        ..PipelineConfig::paper_defaults()
+    };
+    let cifar_acc = accuracy_numbers(
+        |seed| {
+            let mut rng = TensorRng::seed_from(seed);
+            zoo::quick_custom(3, 32, [8, 8, 16], 32, 10, &mut rng).expect("topology")
+        },
+        &cifar_split,
+        1,
+        &pipeline,
+    );
+    print_block(
+        "CIFAR-10",
+        &cifar_hw,
+        &cifar_acc,
+        1,
+        [
+            "Floating-Point  81.53   246.52 us   335.68 uJ    0.00%",
+            "MF-DFP          80.77   246.27 us    34.22 uJ   89.81%",
+            "Ensemble        82.61   246.27 us    66.56 uJ   80.17%",
+        ],
+    );
+
+    // ---------------- ImageNet ----------------
+    let alexnet_exact = zoo::alexnet(1000, false, &mut rng).expect("topology");
+    let imagenet_hw = hardware_numbers(&alexnet_exact);
+
+    let mut imagenet_spec = SynthSpec::imagenet(30, 13);
+    imagenet_spec.noise = 1.0;
+    imagenet_spec.max_shift = 4;
+    let imagenet_split = Split::generate(&imagenet_spec, 10);
+    let pipeline = PipelineConfig {
+        phase1_epochs: 5,
+        phase2_epochs: 3,
+        learning_rate: 4e-3,
+        batch_size: 32,
+        eval_k: 5,
+        ..PipelineConfig::paper_defaults()
+    };
+    let imagenet_acc = accuracy_numbers(
+        |seed| {
+            let mut rng = TensorRng::seed_from(seed);
+            zoo::alexnet_like_small(20, &mut rng).expect("topology")
+        },
+        &imagenet_split,
+        5,
+        &pipeline,
+    );
+    print_block(
+        "ImageNet (top-1 (top-5))",
+        &imagenet_hw,
+        &imagenet_acc,
+        5,
+        [
+            "Floating-Point  56.95 (79.88)   15666.45 us   21332.38 uJ    0.00%",
+            "MF-DFP          56.16 (79.13)   15666.06 us    2176.96 uJ   89.80%",
+            "Ensemble        57.57 (80.29)   15666.06 us    4234.07 uJ   80.15%",
+        ],
+    );
+}

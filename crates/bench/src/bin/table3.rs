@@ -1,0 +1,63 @@
+//! Regenerates **Table 3** of the paper: parameter-memory requirements of
+//! floating-point versus MF-DFP networks for both benchmarks.
+//!
+//! ```text
+//! cargo run -p mfdfp-bench --bin table3 --release
+//! ```
+//!
+//! Uses the paper's exact topologies: Caffe cifar10-full (89,578 params)
+//! and ungrouped AlexNet (62,378,344 params). Float parameters take 32
+//! bits; deployed MF-DFP weights take 4 bits (sign + 3-bit exponent) and
+//! biases 8 bits.
+
+use mfdfp_core::memory_report;
+use mfdfp_nn::zoo;
+use mfdfp_tensor::TensorRng;
+
+fn main() {
+    let mut rng = TensorRng::seed_from(0);
+    let cifar = zoo::cifar10_full(10, &mut rng).expect("valid topology");
+    let alexnet = zoo::alexnet(1000, false, &mut rng).expect("valid topology");
+
+    let rc = memory_report(&cifar);
+    let ra = memory_report(&alexnet);
+
+    println!("Table 3: Memory requirements, floating-point vs MF-DFP parameters\n");
+    println!("{:<22} {:>16} {:>16}", "Precision", "CIFAR-10 (MB)", "ImageNet (MB)");
+    mfdfp_bench::rule(58);
+    println!("{:<22} {:>16.4} {:>16.2}", "Floating-Point", rc.fp32_mib(), ra.fp32_mib());
+    println!("{:<22} {:>16.4} {:>16.2}", "MF-DFP", rc.mfdfp_mib(), ra.mfdfp_mib());
+    println!(
+        "{:<22} {:>16.4} {:>16.2}",
+        "Ensemble MF-DFP",
+        rc.ensemble_mib(2),
+        ra.ensemble_mib(2)
+    );
+
+    println!("\nPaper reference (Table 3):");
+    println!("  Floating-Point            0.3417           237.95");
+    println!("  MF-DFP                    0.0428            29.75");
+    println!("  Ensemble MF-DFP           0.0855            59.50");
+
+    println!(
+        "\nNetworks: cifar10-full ({} params), ungrouped AlexNet ({} params).",
+        rc.params(),
+        ra.params()
+    );
+    println!(
+        "Compression: {:.2}x (CIFAR-10), {:.2}x (ImageNet) — the paper's \"8x less memory\".",
+        rc.compression(),
+        ra.compression()
+    );
+
+    // The identification check: only the ungrouped AlexNet reproduces the
+    // paper's 237.95 MB; the grouped Caffe release would give ~232.6 MB.
+    let grouped = zoo::alexnet_grouped(1000, &mut rng).expect("valid topology");
+    let rg = memory_report(&grouped);
+    println!(
+        "\nFor comparison, grouped Caffe AlexNet ({} params): {:.2} MB float, {:.2} MB MF-DFP",
+        rg.params(),
+        rg.fp32_mib(),
+        rg.mfdfp_mib()
+    );
+}

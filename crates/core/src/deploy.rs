@@ -1,0 +1,292 @@
+//! Deployment image serialization: the byte format a host would DMA into
+//! the accelerator's weight buffer.
+//!
+//! A [`QuantizedNet`] serialises to a compact, self-describing binary
+//! image: a magic/version header, the per-layer topology, 4-bit
+//! nibble-packed power-of-two weight codes, and accumulator-format biases.
+//! Round-tripping is exact — the deserialised network produces identical
+//! activation codes — which is the property the deployment flow needs.
+
+use mfdfp_accel::qlayers::{ShiftConv, ShiftLinear};
+use mfdfp_dfp::{pack_nibbles, unpack_nibbles, DfpFormat};
+use mfdfp_tensor::{ConvGeometry, PoolKind};
+
+use crate::error::{CoreError, Result};
+use crate::qnet::{QLayer, QuantizedNet};
+
+/// Magic bytes identifying a deployment image ("MFDF").
+pub const MAGIC: [u8; 4] = *b"MFDF";
+/// Current image format version.
+pub const VERSION: u8 = 1;
+
+/// Serialises a quantized network to its deployment image.
+pub fn to_bytes(net: &QuantizedNet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    write_str(&mut out, net.name());
+    write_format(&mut out, net.input_format());
+    write_format(&mut out, net.output_format());
+    write_u32(&mut out, net.classes() as u32);
+    write_u32(&mut out, net.layers().len() as u32);
+    for layer in net.layers() {
+        match layer {
+            QLayer::Conv(c) => {
+                out.push(0);
+                write_conv_geometry(&mut out, &c.geom);
+                out.push(c.in_frac as u8);
+                out.push(c.out_frac as u8);
+                let packed = pack_nibbles(&c.weights);
+                write_u32(&mut out, c.weights.len() as u32);
+                out.extend_from_slice(&packed);
+                write_u32(&mut out, c.bias.len() as u32);
+                for &b in &c.bias {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            QLayer::Linear(l) => {
+                out.push(1);
+                write_u32(&mut out, l.in_features as u32);
+                write_u32(&mut out, l.out_features as u32);
+                out.push(l.in_frac as u8);
+                out.push(l.out_frac as u8);
+                let packed = pack_nibbles(&l.weights);
+                write_u32(&mut out, l.weights.len() as u32);
+                out.extend_from_slice(&packed);
+                write_u32(&mut out, l.bias.len() as u32);
+                for &b in &l.bias {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            QLayer::Pool { kind, channels, in_h, in_w, window, stride } => {
+                out.push(2);
+                out.push(match kind {
+                    PoolKind::Max => 0,
+                    PoolKind::Avg => 1,
+                });
+                for v in [*channels, *in_h, *in_w, *window, *stride] {
+                    write_u32(&mut out, v as u32);
+                }
+            }
+            QLayer::Relu => out.push(3),
+        }
+    }
+    out
+}
+
+/// Deserialises a deployment image.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for malformed images (bad magic,
+/// truncation, unknown layer tags, invalid weight codes).
+pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(CoreError::BadConfig("bad magic; not an MF-DFP deployment image".into()));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CoreError::BadConfig(format!("unsupported image version {version}")));
+    }
+    let name = r.string()?;
+    let input_format = r.format()?;
+    let output_format = r.format()?;
+    let classes = r.u32()? as usize;
+    let n_layers = r.u32()? as usize;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let tag = r.u8()?;
+        let layer = match tag {
+            0 => {
+                let geom = r.conv_geometry()?;
+                let in_frac = r.u8()? as i8;
+                let out_frac = r.u8()? as i8;
+                let wcount = r.u32()? as usize;
+                let packed = r.take(wcount.div_ceil(2))?.to_vec();
+                let weights = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let bcount = r.u32()? as usize;
+                let mut bias = Vec::with_capacity(bcount);
+                for _ in 0..bcount {
+                    bias.push(r.i64()?);
+                }
+                QLayer::Conv(ShiftConv { geom, weights, bias, in_frac, out_frac })
+            }
+            1 => {
+                let in_features = r.u32()? as usize;
+                let out_features = r.u32()? as usize;
+                let in_frac = r.u8()? as i8;
+                let out_frac = r.u8()? as i8;
+                let wcount = r.u32()? as usize;
+                let packed = r.take(wcount.div_ceil(2))?.to_vec();
+                let weights = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let bcount = r.u32()? as usize;
+                let mut bias = Vec::with_capacity(bcount);
+                for _ in 0..bcount {
+                    bias.push(r.i64()?);
+                }
+                QLayer::Linear(ShiftLinear {
+                    in_features,
+                    out_features,
+                    weights,
+                    bias,
+                    in_frac,
+                    out_frac,
+                })
+            }
+            2 => {
+                let kind = match r.u8()? {
+                    0 => PoolKind::Max,
+                    1 => PoolKind::Avg,
+                    k => return Err(CoreError::BadConfig(format!("unknown pool kind {k}"))),
+                };
+                let channels = r.u32()? as usize;
+                let in_h = r.u32()? as usize;
+                let in_w = r.u32()? as usize;
+                let window = r.u32()? as usize;
+                let stride = r.u32()? as usize;
+                QLayer::Pool { kind, channels, in_h, in_w, window, stride }
+            }
+            3 => QLayer::Relu,
+            t => return Err(CoreError::BadConfig(format!("unknown layer tag {t}"))),
+        };
+        layers.push(layer);
+    }
+    QuantizedNet::from_parts(name, input_format, output_format, classes, layers)
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_format(out: &mut Vec<u8>, f: DfpFormat) {
+    out.push(f.bits());
+    out.push(f.frac() as u8);
+}
+
+fn write_conv_geometry(out: &mut Vec<u8>, g: &ConvGeometry) {
+    for v in [g.in_c, g.in_h, g.in_w, g.out_c, g.kernel, g.stride, g.pad, g.groups] {
+        write_u32(out, v as u32);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CoreError::BadConfig("truncated deployment image".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CoreError::BadConfig("invalid UTF-8 in image".into()))
+    }
+
+    fn format(&mut self) -> Result<DfpFormat> {
+        let bits = self.u8()?;
+        let frac = self.u8()? as i8;
+        DfpFormat::new(bits, frac).map_err(CoreError::Dfp)
+    }
+
+    fn conv_geometry(&mut self) -> Result<ConvGeometry> {
+        let vals: Vec<usize> = (0..8).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+        let g = ConvGeometry::new(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6])
+            .map_err(CoreError::Tensor)?;
+        g.with_groups(vals[7]).map_err(CoreError::Tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::calibrate;
+    use mfdfp_nn::zoo;
+    use mfdfp_tensor::TensorRng;
+
+    fn qnet() -> (QuantizedNet, mfdfp_tensor::Tensor) {
+        let mut rng = TensorRng::seed_from(8);
+        let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+        let x = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+        let plan = calibrate(&mut net, &[(x.clone(), vec![0, 1, 2, 3])], 8).unwrap();
+        (QuantizedNet::from_network(&net, &plan).unwrap(), x)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let (net, x) = qnet();
+        let bytes = to_bytes(&net);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.name(), net.name());
+        assert_eq!(back.classes(), net.classes());
+        assert_eq!(back.input_format(), net.input_format());
+        for s in 0..x.shape().dim(0) {
+            let img = x.index_axis0(s);
+            assert_eq!(
+                net.forward_codes(&img).unwrap(),
+                back.forward_codes(&img).unwrap(),
+                "deserialised network diverged on sample {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_is_compact() {
+        let (net, _) = qnet();
+        let bytes = to_bytes(&net);
+        // Weights dominate and are nibble-packed: the image must be well
+        // under the float parameter size.
+        let float_bytes = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv(c) => c.weights.len() * 4,
+                QLayer::Linear(l) => l.weights.len() * 4,
+                _ => 0,
+            })
+            .sum::<usize>();
+        assert!(bytes.len() < float_bytes / 2, "{} vs {float_bytes}", bytes.len());
+    }
+
+    #[test]
+    fn rejects_malformed_images() {
+        let (net, _) = qnet();
+        let mut bytes = to_bytes(&net);
+        assert!(from_bytes(&bytes[..10]).is_err(), "truncation must fail");
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err(), "bad magic must fail");
+        let mut bytes = to_bytes(&net);
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err(), "bad version must fail");
+        assert!(from_bytes(&[]).is_err());
+    }
+}

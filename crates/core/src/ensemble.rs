@@ -1,0 +1,158 @@
+//! Phase 3: ensembles of MF-DFP networks.
+//!
+//! "Suppose the ensemble consists of M networks producing output logit
+//! vectors z_i … the output class can simply be the maximum element in
+//! (1/M)·Σ z_i." Each member runs on its own processing unit in parallel,
+//! so ensemble latency equals single-network latency while energy scales
+//! with the member count — the trade the paper's Table 2 ensemble rows
+//! quantify.
+
+use mfdfp_nn::Accuracy;
+use mfdfp_tensor::{Shape, Tensor};
+
+use crate::error::{CoreError, Result};
+use crate::qnet::QuantizedNet;
+
+/// An ensemble of independently fine-tuned quantized networks.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    members: Vec<QuantizedNet>,
+}
+
+impl Ensemble {
+    /// Builds an ensemble from its members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if the ensemble is empty or the
+    /// members disagree on class count.
+    pub fn new(members: Vec<QuantizedNet>) -> Result<Self> {
+        let Some(first) = members.first() else {
+            return Err(CoreError::BadConfig("ensemble needs at least one member".into()));
+        };
+        let classes = first.classes();
+        if members.iter().any(|m| m.classes() != classes) {
+            return Err(CoreError::BadConfig("ensemble members disagree on class count".into()));
+        }
+        Ok(Ensemble { members })
+    }
+
+    /// Number of member networks (the paper deploys M = 2).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member networks.
+    pub fn members(&self) -> &[QuantizedNet] {
+        &self.members
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.members[0].classes()
+    }
+
+    /// Averaged dequantized logits for a `N×C×H×W` batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates member inference errors.
+    pub fn logits_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let n = batch.shape().dim(0);
+        let mut sum = Tensor::zeros(Shape::d2(n, self.classes()));
+        for member in &self.members {
+            let logits = member.logits_batch(batch)?;
+            sum.axpy(1.0, &logits)?;
+        }
+        sum.scale(1.0 / self.members.len() as f32);
+        Ok(sum)
+    }
+
+    /// Evaluates the ensemble over batches, tracking top-1/top-`k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates member inference errors.
+    pub fn evaluate<I>(&self, batches: I, k: usize) -> Result<Accuracy>
+    where
+        I: IntoIterator<Item = (Tensor, Vec<usize>)>,
+    {
+        let mut acc = Accuracy::new(k);
+        for (x, labels) in batches {
+            let logits = self.logits_batch(&x)?;
+            acc.update(&logits, &labels).map_err(CoreError::Nn)?;
+        }
+        Ok(acc)
+    }
+
+    /// Total parameter memory of the ensemble in bytes (Table 3's
+    /// "Ensemble MF-DFP" rows: essentially `M ×` a single member).
+    pub fn memory_bytes(&self) -> u64 {
+        self.members.iter().map(QuantizedNet::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qnet::QuantizedNet;
+    use crate::quantize::calibrate;
+    use mfdfp_nn::zoo;
+    use mfdfp_tensor::TensorRng;
+
+    fn member(seed: u64) -> QuantizedNet {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = zoo::quick_custom(2, 16, [4, 4, 4], 8, 4, &mut rng).unwrap();
+        let x = rng.gaussian([4, 2, 16, 16], 0.0, 0.7);
+        let plan = calibrate(&mut net, &[(x, vec![0, 1, 2, 3])], 8).unwrap();
+        QuantizedNet::from_network(&net, &plan).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(Ensemble::new(vec![]).is_err());
+        let mut rng = TensorRng::seed_from(1);
+        let mut other = zoo::quick_custom(2, 16, [4, 4, 4], 8, 6, &mut rng).unwrap();
+        let x = rng.gaussian([2, 2, 16, 16], 0.0, 0.7);
+        let plan = calibrate(&mut other, &[(x, vec![0, 1])], 8).unwrap();
+        let other_q = QuantizedNet::from_network(&other, &plan).unwrap();
+        assert!(Ensemble::new(vec![member(1), other_q]).is_err());
+    }
+
+    #[test]
+    fn averaged_logits_are_member_mean() {
+        let e = Ensemble::new(vec![member(1), member(2)]).unwrap();
+        let mut rng = TensorRng::seed_from(9);
+        let x = rng.gaussian([3, 2, 16, 16], 0.0, 0.7);
+        let avg = e.logits_batch(&x).unwrap();
+        let l1 = e.members()[0].logits_batch(&x).unwrap();
+        let l2 = e.members()[1].logits_batch(&x).unwrap();
+        for i in 0..avg.len() {
+            let expect = (l1.as_slice()[i] + l2.as_slice()[i]) / 2.0;
+            assert!((avg.as_slice()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_members() {
+        let single = member(1).memory_bytes();
+        let e = Ensemble::new(vec![member(1), member(2)]).unwrap();
+        assert_eq!(e.memory_bytes(), 2 * single);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.classes(), 4);
+    }
+
+    #[test]
+    fn evaluate_runs() {
+        let e = Ensemble::new(vec![member(1), member(2)]).unwrap();
+        let mut rng = TensorRng::seed_from(9);
+        let x = rng.gaussian([4, 2, 16, 16], 0.0, 0.7);
+        let acc = e.evaluate(vec![(x, vec![0, 1, 2, 3])], 2).unwrap();
+        assert_eq!(acc.total(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the MF-DFP pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use mfdfp_accel::AccelError;
+use mfdfp_dfp::DfpError;
+use mfdfp_nn::NnError;
+use mfdfp_tensor::TensorError;
+
+/// Errors from quantization, fine-tuning and quantized inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying network framework error.
+    Nn(NnError),
+    /// Underlying tensor error.
+    Tensor(TensorError),
+    /// Underlying fixed-point error.
+    Dfp(DfpError),
+    /// Underlying accelerator-model error.
+    Accel(AccelError),
+    /// The network contains a layer the MF-DFP pipeline cannot quantize.
+    Unquantizable(String),
+    /// Pipeline configuration inconsistency.
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Dfp(e) => write!(f, "fixed-point error: {e}"),
+            CoreError::Accel(e) => write!(f, "accelerator error: {e}"),
+            CoreError::Unquantizable(msg) => write!(f, "cannot quantize: {msg}"),
+            CoreError::BadConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Dfp(e) => Some(e),
+            CoreError::Accel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<DfpError> for CoreError {
+    fn from(e: DfpError) -> Self {
+        CoreError::Dfp(e)
+    }
+}
+
+impl From<AccelError> for CoreError {
+    fn from(e: AccelError) -> Self {
+        CoreError::Accel(e)
+    }
+}
+
+/// Convenience alias for pipeline results.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e = CoreError::from(DfpError::BadFanIn(5));
+        assert!(e.to_string().contains("fixed-point"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CoreError::BadConfig("x".into())).is_none());
+    }
+}

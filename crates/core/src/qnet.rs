@@ -1,0 +1,396 @@
+//! The deployed MF-DFP network: integer-only inference through the
+//! accelerator's functional datapath.
+//!
+//! A [`QuantizedNet`] is the artifact Algorithm 1 produces — 4-bit
+//! power-of-two weights, 8-bit dynamic fixed-point activations with
+//! per-layer radix points, biases aligned into the accumulator. Its
+//! forward pass uses **only** integer shift/add operations (via
+//! `mfdfp_accel::qlayers`), so evaluating it *is* simulating the
+//! accelerator bit-for-bit.
+
+use mfdfp_accel::qlayers::{
+    avg_pool_codes, max_pool_codes, relu_codes, ShiftConv, ShiftLinear, PRODUCT_FRAC_SHIFT,
+};
+use mfdfp_dfp::{realign, AdderTree, DfpFormat, Pow2Weight};
+use mfdfp_nn::{Layer, Network};
+use mfdfp_tensor::{PoolKind, Shape, Tensor};
+
+use crate::error::{CoreError, Result};
+use crate::quantize::QuantizationPlan;
+
+/// One layer of the deployed network.
+#[derive(Debug, Clone)]
+pub enum QLayer {
+    /// Shift-based convolution (runs on the accelerator datapath).
+    Conv(ShiftConv),
+    /// Shift-based fully-connected layer.
+    Linear(ShiftLinear),
+    /// Pooling on activation codes.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Channels.
+        channels: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// ReLU on activation codes (the NL unit).
+    Relu,
+}
+
+/// A quantized multiplier-free dynamic fixed-point network.
+#[derive(Debug, Clone)]
+pub struct QuantizedNet {
+    name: String,
+    input_format: DfpFormat,
+    output_format: DfpFormat,
+    layers: Vec<QLayer>,
+    classes: usize,
+    tree: AdderTree,
+}
+
+impl QuantizedNet {
+    /// Builds the deployed network from a float master and its calibrated
+    /// plan (Algorithm 1 line 2 — typically called on the *fine-tuned*
+    /// master at the end of Phases 1/2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Unquantizable`] for layers with no hardware
+    /// mapping (LRN) and [`CoreError::BadConfig`] for non-8-bit plans.
+    pub fn from_network(master: &Network, plan: &QuantizationPlan) -> Result<Self> {
+        if plan.activation_bits != 8 {
+            return Err(CoreError::BadConfig(format!(
+                "the integer engine is 8-bit; plan has {} bits",
+                plan.activation_bits
+            )));
+        }
+        if plan.boundary_formats.len() != master.len() {
+            return Err(CoreError::BadConfig(
+                "quantization plan does not match network layer count".into(),
+            ));
+        }
+        let mut layers = Vec::new();
+        let mut classes = 0usize;
+        let mut current = plan.input_format;
+        let mut output_format = plan.input_format;
+        for (i, layer) in master.layers().iter().enumerate() {
+            match layer {
+                Layer::Conv(c) => {
+                    let out_fmt = plan.boundary_formats[i];
+                    let bias_fmt = plan.bias_formats[i].expect("weighted layer has bias format");
+                    layers.push(QLayer::Conv(ShiftConv {
+                        geom: *c.geometry(),
+                        weights: c.weights().as_slice().iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+                        bias: align_biases(c.bias().as_slice(), bias_fmt, current),
+                        in_frac: current.frac(),
+                        out_frac: out_fmt.frac(),
+                    }));
+                    classes = c.geometry().out_c;
+                    current = out_fmt;
+                    output_format = out_fmt;
+                }
+                Layer::Linear(l) => {
+                    let out_fmt = plan.boundary_formats[i];
+                    let bias_fmt = plan.bias_formats[i].expect("weighted layer has bias format");
+                    layers.push(QLayer::Linear(ShiftLinear {
+                        in_features: l.in_features(),
+                        out_features: l.out_features(),
+                        weights: l.weights().as_slice().iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+                        bias: align_biases(l.bias().as_slice(), bias_fmt, current),
+                        in_frac: current.frac(),
+                        out_frac: out_fmt.frac(),
+                    }));
+                    classes = l.out_features();
+                    current = out_fmt;
+                    output_format = out_fmt;
+                }
+                Layer::Pool(p) => {
+                    let g = p.geometry();
+                    layers.push(QLayer::Pool {
+                        kind: p.kind(),
+                        channels: g.channels,
+                        in_h: g.in_h,
+                        in_w: g.in_w,
+                        window: g.window,
+                        stride: g.stride,
+                    });
+                }
+                Layer::Relu(_) => layers.push(QLayer::Relu),
+                // Identity at inference: flatten only reshapes, dropout is
+                // disabled, fake-quant is already realised by the integer
+                // representation itself.
+                Layer::Flatten(_) | Layer::Dropout(_) | Layer::FakeQuant(_) => {}
+                Layer::Lrn(_) => {
+                    return Err(CoreError::Unquantizable(
+                        "LRN has no multiplier-free mapping".into(),
+                    ))
+                }
+                Layer::Tanh(_) | Layer::Sigmoid(_) => {
+                    return Err(CoreError::Unquantizable(
+                        "smooth non-linearities have no multiplier-free mapping; use ReLU"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        if classes == 0 {
+            return Err(CoreError::Unquantizable("network has no weighted layers".into()));
+        }
+        Ok(QuantizedNet {
+            name: format!("{}-mfdfp", master.name()),
+            input_format: plan.input_format,
+            output_format,
+            layers,
+            classes,
+            tree: AdderTree::new(16).expect("16 is a power of two"),
+        })
+    }
+
+    /// Reassembles a network from its parts (the deployment-image
+    /// deserialiser).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for an empty layer stack.
+    pub(crate) fn from_parts(
+        name: String,
+        input_format: DfpFormat,
+        output_format: DfpFormat,
+        classes: usize,
+        layers: Vec<QLayer>,
+    ) -> Result<Self> {
+        if layers.is_empty() || classes == 0 {
+            return Err(CoreError::BadConfig("deployment image has no layers".into()));
+        }
+        Ok(QuantizedNet {
+            name,
+            input_format,
+            output_format,
+            layers,
+            classes,
+            tree: AdderTree::new(16).expect("16 is a power of two"),
+        })
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The input activation format.
+    pub fn input_format(&self) -> DfpFormat {
+        self.input_format
+    }
+
+    /// The logits' activation format.
+    pub fn output_format(&self) -> DfpFormat {
+        self.output_format
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Runs integer-only inference on one `C×H×W` float image: quantizes
+    /// the input to codes, then shifts/adds all the way to logit codes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults (overflow audits, geometry mismatches).
+    pub fn forward_codes(&self, image: &Tensor) -> Result<Vec<i8>> {
+        let mut codes: Vec<i8> = image
+            .as_slice()
+            .iter()
+            .map(|&x| self.input_format.quantize(x) as i8)
+            .collect();
+        for layer in &self.layers {
+            codes = match layer {
+                QLayer::Conv(c) => c.run(&codes, &self.tree).map_err(CoreError::Accel)?,
+                QLayer::Linear(l) => l.run(&codes, &self.tree).map_err(CoreError::Accel)?,
+                QLayer::Pool { kind, channels, in_h, in_w, window, stride } => match kind {
+                    PoolKind::Max => {
+                        max_pool_codes(&codes, *channels, *in_h, *in_w, *window, *stride)
+                            .map_err(CoreError::Accel)?
+                    }
+                    PoolKind::Avg => {
+                        avg_pool_codes(&codes, *channels, *in_h, *in_w, *window, *stride)
+                            .map_err(CoreError::Accel)?
+                    }
+                },
+                QLayer::Relu => {
+                    let mut c = codes;
+                    relu_codes(&mut c);
+                    c
+                }
+            };
+        }
+        Ok(codes)
+    }
+
+    /// Dequantized logits for one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults.
+    pub fn logits(&self, image: &Tensor) -> Result<Tensor> {
+        let codes = self.forward_codes(image)?;
+        let vals: Vec<f32> =
+            codes.iter().map(|&c| self.output_format.dequantize(c as i32)).collect();
+        Ok(Tensor::from_slice(&vals))
+    }
+
+    /// Dequantized logits for a `N×C×H×W` batch (`N×classes`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults.
+    pub fn logits_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let n = batch.shape().dim(0);
+        let mut out = Tensor::zeros(Shape::d2(n, self.classes));
+        for s in 0..n {
+            let img = batch.index_axis0(s);
+            let logits = self.logits(&img)?;
+            out.set_axis0(s, &logits);
+        }
+        Ok(out)
+    }
+
+    /// Parameter memory of the deployed network in bytes: 4-bit packed
+    /// weights + 8-bit biases (Table 3's MF-DFP rows).
+    pub fn memory_bytes(&self) -> u64 {
+        let mut weights = 0u64;
+        let mut biases = 0u64;
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv(c) => {
+                    weights += c.weights.len() as u64;
+                    biases += c.bias.len() as u64;
+                }
+                QLayer::Linear(l) => {
+                    weights += l.weights.len() as u64;
+                    biases += l.bias.len() as u64;
+                }
+                _ => {}
+            }
+        }
+        weights.div_ceil(2) + biases
+    }
+}
+
+/// Converts float biases into accumulator-format integers: quantize to the
+/// 8-bit bias format, then (exactly) left-shift to fractional length
+/// `m + 7`.
+fn align_biases(bias: &[f32], bias_fmt: DfpFormat, in_fmt: DfpFormat) -> Vec<i64> {
+    let acc_frac = in_fmt.frac() as i32 + PRODUCT_FRAC_SHIFT;
+    bias.iter()
+        .map(|&b| realign(bias_fmt.quantize(b) as i64, bias_fmt.frac() as i32, acc_frac))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{build_working_net, calibrate, sync_quantized_params};
+    use mfdfp_nn::zoo;
+    use mfdfp_tensor::TensorRng;
+
+    fn setup() -> (Network, QuantizationPlan, Vec<(Tensor, Vec<usize>)>) {
+        let mut rng = TensorRng::seed_from(21);
+        let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+        let x = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+        let calib = vec![(x, vec![0usize, 1, 2, 3])];
+        let plan = calibrate(&mut net, &calib, 8).unwrap();
+        (net, plan, calib)
+    }
+
+    #[test]
+    fn builds_and_runs_end_to_end() {
+        let (net, plan, calib) = setup();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        assert_eq!(q.classes(), 10);
+        let img = calib[0].0.index_axis0(0);
+        let codes = q.forward_codes(&img).unwrap();
+        assert_eq!(codes.len(), 10);
+        let logits = q.logits_batch(&calib[0].0).unwrap();
+        assert_eq!(logits.shape().dims(), &[4, 10]);
+    }
+
+    #[test]
+    fn integer_engine_matches_fake_quant_network() {
+        // The central bit-exactness claim: the fake-quantized float
+        // network (training view) and the integer engine (hardware view)
+        // compute the same activations, up to one LSB of float-summation
+        // slack.
+        let (net, plan, calib) = setup();
+        let mut working = build_working_net(&net, &plan);
+        sync_quantized_params(&net, &mut working, &plan);
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let batch = &calib[0].0;
+        let fq_logits = working.forward(batch, mfdfp_nn::Phase::Eval).unwrap();
+        let hw_logits = q.logits_batch(batch).unwrap();
+        let step = q.output_format().step();
+        let mut exact = 0usize;
+        for (a, b) in fq_logits.as_slice().iter().zip(hw_logits.as_slice()) {
+            let lsb = ((a - b) / step).abs();
+            assert!(lsb <= 1.0 + 1e-3, "fake-quant {a} vs hardware {b} ({lsb} LSB)");
+            if lsb < 1e-3 {
+                exact += 1;
+            }
+        }
+        let frac = exact as f64 / fq_logits.len() as f64;
+        assert!(frac >= 0.9, "only {frac:.2} of logits bit-exact");
+    }
+
+    #[test]
+    fn memory_is_one_eighth_of_float() {
+        let (net, plan, _) = setup();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let float_bytes = net.param_count() as u64 * 4;
+        let ratio = float_bytes as f64 / q.memory_bytes() as f64;
+        // Weights dominate; biases (8-bit) nudge it slightly below 8×.
+        assert!((7.0..=8.0).contains(&ratio), "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_lrn_and_wrong_plans() {
+        let mut rng = TensorRng::seed_from(1);
+        let lrn_net = zoo::alexnet(10, true, &mut rng).unwrap();
+        let (net, plan, _) = setup();
+        assert!(QuantizedNet::from_network(&lrn_net, &plan).is_err());
+        let mut bad_plan = plan.clone();
+        bad_plan.activation_bits = 16;
+        assert!(matches!(
+            QuantizedNet::from_network(&net, &bad_plan),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_accuracy_tracks_float_on_easy_data() {
+        // On well-separated data a freshly quantized net should agree with
+        // the float net on most predictions even before fine-tuning.
+        let (mut net, plan, _) = setup();
+        let mut rng = TensorRng::seed_from(3);
+        let x = rng.gaussian([16, 3, 16, 16], 0.0, 0.7);
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let fl = net.forward(&x, mfdfp_nn::Phase::Eval).unwrap();
+        let hw = q.logits_batch(&x).unwrap();
+        let fl_pred = mfdfp_tensor::argmax_rows(&fl).unwrap();
+        let hw_pred = mfdfp_tensor::argmax_rows(&hw).unwrap();
+        let agree = fl_pred.iter().zip(&hw_pred).filter(|(a, b)| a == b).count();
+        assert!(agree >= 10, "only {agree}/16 predictions agree after quantization");
+    }
+}

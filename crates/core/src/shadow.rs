@@ -1,0 +1,318 @@
+//! Shadow-weight fine-tuning (Algorithm 1, Phases 1 and 2).
+//!
+//! The trainer keeps **two** parameter sets, following Courbariaux et al.:
+//! a full-precision *master* (updated by SGD) and a quantized *working*
+//! network (used for every forward/backward pass). Before each batch the
+//! master's weights are deterministically quantized into the working net;
+//! gradients computed through the quantized forward pass (with
+//! straight-through fake-quant activations) are applied to the master.
+//! Small gradients therefore accumulate in the master until they flip a
+//! weight to the next power of two — the mechanism that makes
+//! integer-power-of-two training converge.
+
+use mfdfp_nn::{
+    distillation_loss, softmax_cross_entropy, Accuracy, DistillConfig, EpochStats, Network,
+    Phase, Sgd, SgdConfig,
+};
+use mfdfp_tensor::Tensor;
+
+use crate::error::Result;
+use crate::quantize::{build_working_net, sync_quantized_params, QuantizationPlan};
+
+/// The loss driving fine-tuning.
+#[derive(Debug)]
+enum LossKind {
+    /// Phase 1: hard data labels only.
+    HardLabels,
+    /// Phase 2: hard labels + student–teacher term against a frozen
+    /// float teacher.
+    Distill { teacher: Network, cfg: DistillConfig },
+}
+
+/// Fine-tunes a float network under MF-DFP quantization.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mfdfp_core::{calibrate, ShadowTrainer};
+/// use mfdfp_nn::{zoo, SgdConfig};
+/// use mfdfp_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng)?;
+/// let calib = vec![(rng.gaussian([8, 3, 16, 16], 0.0, 1.0), vec![0; 8])];
+/// let plan = calibrate(&mut net, &calib, 8)?;
+/// let mut trainer = ShadowTrainer::new(net, plan, SgdConfig::default())?;
+/// let stats = trainer.train_epoch(calib)?;
+/// println!("loss {}", stats.mean_loss);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShadowTrainer {
+    master: Network,
+    working: Network,
+    plan: QuantizationPlan,
+    sgd: Sgd,
+    loss: LossKind,
+}
+
+impl ShadowTrainer {
+    /// Creates a Phase-1 trainer (hard labels) from a float master and its
+    /// calibrated plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error for an invalid SGD configuration.
+    pub fn new(master: Network, plan: QuantizationPlan, sgd: SgdConfig) -> Result<Self> {
+        let working = build_working_net(&master, &plan);
+        Ok(ShadowTrainer {
+            master,
+            working,
+            plan,
+            sgd: Sgd::new(sgd)?,
+            loss: LossKind::HardLabels,
+        })
+    }
+
+    /// Switches to Phase-2 student–teacher training: subsequent epochs use
+    /// `L = H(Y, P_S) + β·H(P_T, P_S)` against the frozen `teacher`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error for an invalid distillation configuration.
+    pub fn enable_distillation(&mut self, teacher: Network, cfg: DistillConfig) -> Result<()> {
+        cfg.validate().map_err(crate::error::CoreError::Nn)?;
+        self.loss = LossKind::Distill { teacher, cfg };
+        Ok(())
+    }
+
+    /// Whether Phase-2 distillation is active.
+    pub fn distilling(&self) -> bool {
+        matches!(self.loss, LossKind::Distill { .. })
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.sgd.learning_rate()
+    }
+
+    /// Overrides the learning rate (driven by the plateau schedule).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.sgd.set_learning_rate(lr);
+    }
+
+    /// The float master network (the shadow weights).
+    pub fn master(&self) -> &Network {
+        &self.master
+    }
+
+    /// The quantization plan in force.
+    pub fn plan(&self) -> &QuantizationPlan {
+        &self.plan
+    }
+
+    /// Consumes the trainer, returning the fine-tuned float master.
+    pub fn into_master(self) -> Network {
+        self.master
+    }
+
+    /// Runs one fine-tuning epoch over `batches` (Algorithm 1 lines 3–8 /
+    /// 11–18).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward/loss errors.
+    pub fn train_epoch<I>(&mut self, batches: I) -> Result<EpochStats>
+    where
+        I: IntoIterator<Item = (Tensor, Vec<usize>)>,
+    {
+        let mut loss_sum = 0.0f64;
+        let mut nbatches = 0usize;
+        let mut acc = Accuracy::new(1);
+        for (x, labels) in batches {
+            // Quantize the shadow weights into the working net.
+            sync_quantized_params(&self.master, &mut self.working, &self.plan);
+            // Forward through the quantized network.
+            let logits = self.working.forward(&x, Phase::Train)?;
+            acc.update(&logits, &labels)?;
+            let (loss, grad) = match &mut self.loss {
+                LossKind::HardLabels => softmax_cross_entropy(&logits, &labels)?,
+                LossKind::Distill { teacher, cfg } => {
+                    let t_logits = teacher.forward(&x, Phase::Eval)?;
+                    distillation_loss(&logits, &t_logits, &labels, cfg)?
+                }
+            };
+            // Backward through the quantized network (straight-through
+            // estimators at the fake-quant boundaries)…
+            self.working.backward(&grad)?;
+            // …but apply the gradients to the full-precision master.
+            self.copy_grads_to_master();
+            self.sgd.step(&mut self.master);
+            self.working.zero_grads();
+            loss_sum += loss as f64;
+            nbatches += 1;
+        }
+        Ok(EpochStats {
+            mean_loss: if nbatches == 0 { 0.0 } else { (loss_sum / nbatches as f64) as f32 },
+            accuracy: acc.top1(),
+            samples: acc.total(),
+        })
+    }
+
+    /// Evaluates the *quantized* network (working net, eval mode) over
+    /// `batches`, tracking top-1/top-`k` accuracy. Syncs weights first, so
+    /// this always reflects the current master.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn evaluate_quantized<I>(&mut self, batches: I, k: usize) -> Result<Accuracy>
+    where
+        I: IntoIterator<Item = (Tensor, Vec<usize>)>,
+    {
+        sync_quantized_params(&self.master, &mut self.working, &self.plan);
+        let mut acc = Accuracy::new(k);
+        for (x, labels) in batches {
+            let logits = self.working.forward(&x, Phase::Eval)?;
+            acc.update(&logits, &labels)?;
+        }
+        Ok(acc)
+    }
+
+    fn copy_grads_to_master(&mut self) {
+        let mut grads: Vec<Tensor> = Vec::new();
+        self.working.visit_params(&mut |_, g| grads.push(g.clone()));
+        let mut i = 0usize;
+        self.master.visit_params(&mut |_, g| {
+            assert!(i < grads.len(), "gradient structure mismatch");
+            *g = grads[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "gradient structure mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::calibrate;
+    use mfdfp_data::{Batcher, Split, SynthSpec};
+    use mfdfp_nn::{zoo, DistillMode};
+    use mfdfp_tensor::TensorRng;
+
+    fn tiny_problem() -> (Network, Split) {
+        let mut rng = TensorRng::seed_from(77);
+        let net = zoo::quick_custom(2, 16, [4, 4, 4], 16, 4, &mut rng).unwrap();
+        let spec = SynthSpec {
+            classes: 4,
+            channels: 2,
+            size: 16,
+            per_class: 20,
+            noise: 0.3,
+            max_shift: 1,
+            seed: 5,
+        };
+        (net, Split::generate(&spec, 8))
+    }
+
+    #[test]
+    fn shadow_training_reduces_quantized_loss() {
+        let (mut net, split) = tiny_problem();
+        let calib: Vec<_> = Batcher::new(&split.train, 16).iter().take(2).collect();
+        let plan = calibrate(&mut net, &calib, 8).unwrap();
+        let sgd = SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 1e-4 };
+        let mut trainer = ShadowTrainer::new(net, plan, sgd).unwrap();
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for epoch in 0..8 {
+            let batches: Vec<_> =
+                Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
+            let stats = trainer.train_epoch(batches).unwrap();
+            if epoch == 0 {
+                first = stats.mean_loss;
+            }
+            last = stats.mean_loss;
+        }
+        assert!(last < first, "quantized training loss did not fall: {first} → {last}");
+        // Evaluation runs the quantized net.
+        let test: Vec<_> = Batcher::new(&split.test, 16).iter().collect();
+        let acc = trainer.evaluate_quantized(test, 1).unwrap();
+        assert!(acc.top1() > 0.3, "accuracy {} barely above chance", acc.top1());
+    }
+
+    #[test]
+    fn master_weights_stay_full_precision() {
+        let (mut net, split) = tiny_problem();
+        let calib: Vec<_> = Batcher::new(&split.train, 16).iter().take(1).collect();
+        let plan = calibrate(&mut net, &calib, 8).unwrap();
+        let sgd = SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 };
+        let mut trainer = ShadowTrainer::new(net, plan, sgd).unwrap();
+        let batches: Vec<_> = Batcher::new(&split.train, 16).iter().collect();
+        trainer.train_epoch(batches).unwrap();
+        // After training, master weights must NOT all be powers of two —
+        // they are the accumulating shadow copy.
+        let mut non_pow2 = 0usize;
+        let mut master = trainer.into_master();
+        master.visit_params(&mut |v, _| {
+            for &w in v.as_slice() {
+                let q = mfdfp_dfp::Pow2Weight::from_f32(w).to_f32();
+                if w != q && w != 0.0 {
+                    non_pow2 += 1;
+                }
+            }
+        });
+        assert!(non_pow2 > 100, "master collapsed onto the quantized grid");
+    }
+
+    #[test]
+    fn gradient_accumulation_flips_quantized_weights_eventually() {
+        // The Courbariaux mechanism: repeated small gradients must
+        // eventually change the quantized forward weights.
+        let (mut net, split) = tiny_problem();
+        let calib: Vec<_> = Batcher::new(&split.train, 16).iter().take(1).collect();
+        let plan = calibrate(&mut net, &calib, 8).unwrap();
+        let sgd = SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 };
+        let mut trainer = ShadowTrainer::new(net, plan.clone(), sgd).unwrap();
+        let before = trainer.master().clone();
+        let mut q_before = build_working_net(&before, &plan);
+        sync_quantized_params(&before, &mut q_before, &plan);
+        let snap_before = q_before.snapshot_params();
+        for epoch in 0..5 {
+            let batches: Vec<_> =
+                Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
+            trainer.train_epoch(batches).unwrap();
+        }
+        let after = trainer.into_master();
+        let mut q_after = build_working_net(&after, &plan);
+        sync_quantized_params(&after, &mut q_after, &plan);
+        let snap_after = q_after.snapshot_params();
+        let mut flips = 0usize;
+        for (a, b) in snap_before.iter().zip(&snap_after) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                if x != y {
+                    flips += 1;
+                }
+            }
+        }
+        assert!(flips > 10, "no quantized weights flipped after 5 epochs");
+        // Silence unused-mut style warnings on helper networks.
+        let _ = (before.param_count(), after.param_count());
+    }
+
+    #[test]
+    fn distillation_mode_trains() {
+        let (mut net, split) = tiny_problem();
+        let calib: Vec<_> = Batcher::new(&split.train, 16).iter().take(1).collect();
+        let plan = calibrate(&mut net, &calib, 8).unwrap();
+        let teacher = net.clone();
+        let sgd = SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 0.0 };
+        let mut trainer = ShadowTrainer::new(net, plan, sgd).unwrap();
+        let cfg = DistillConfig { temperature: 5.0, beta: 0.5, mode: DistillMode::Exact };
+        trainer.enable_distillation(teacher, cfg).unwrap();
+        assert!(trainer.distilling());
+        let batches: Vec<_> = Batcher::new(&split.train, 16).iter().collect();
+        let stats = trainer.train_epoch(batches).unwrap();
+        assert!(stats.mean_loss.is_finite());
+        assert!(stats.samples > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the synthetic data substrate.
+
+use mfdfp_data::{hflip, shift_with_zero_fill, Batcher, Split, SynthSpec, SyntheticDataset};
+use mfdfp_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
+    (2usize..6, 1usize..4, 2usize..5, 0.0f32..1.0, 0u64..1000).prop_map(
+        |(classes, channels, per_class, noise, seed)| SynthSpec {
+            classes,
+            channels,
+            size: 8,
+            per_class,
+            noise,
+            max_shift: 1,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generation is deterministic and balanced for any spec.
+    #[test]
+    fn generation_deterministic_and_balanced(spec in spec_strategy()) {
+        let a = SyntheticDataset::generate(&spec);
+        let b = SyntheticDataset::generate(&spec);
+        prop_assert_eq!(a.len(), spec.len());
+        for c in 0..spec.classes {
+            prop_assert_eq!(a.labels().iter().filter(|&&l| l == c).count(), spec.per_class);
+        }
+        for i in 0..a.len() {
+            prop_assert_eq!(a.sample(i).0.as_slice(), b.sample(i).0.as_slice());
+        }
+    }
+
+    /// Every batcher pass covers every sample exactly once, shuffled or
+    /// not, for any batch size.
+    #[test]
+    fn batcher_is_exact_cover(spec in spec_strategy(), batch in 1usize..20, shuffle_seed in 0u64..100) {
+        let ds = SyntheticDataset::generate(&spec);
+        let sequential: usize = Batcher::new(&ds, batch).iter().map(|(_, l)| l.len()).sum();
+        prop_assert_eq!(sequential, ds.len());
+        let shuffled: Vec<usize> =
+            Batcher::new(&ds, batch).shuffled(shuffle_seed).flat_map(|(_, l)| l).collect();
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        let mut reference: Vec<usize> = ds.labels().to_vec();
+        reference.sort_unstable();
+        prop_assert_eq!(sorted, reference);
+    }
+
+    /// Splits are disjoint and share the class structure for any spec.
+    #[test]
+    fn split_partitions_are_disjoint(spec in spec_strategy(), test_per_class in 1usize..4) {
+        let split = Split::generate(&spec, test_per_class);
+        prop_assert_eq!(split.train.len(), spec.len());
+        prop_assert_eq!(split.test.len(), spec.classes * test_per_class);
+        // Spot-check disjointness on the first samples of each class.
+        for c in 0..spec.classes {
+            let tr = split.train.sample(c * spec.per_class).0;
+            let te = split.test.sample(c * test_per_class).0;
+            prop_assert_ne!(tr.as_slice(), te.as_slice());
+        }
+    }
+
+    /// hflip is an involution on arbitrary images.
+    #[test]
+    fn hflip_involution(vals in proptest::collection::vec(-2.0f32..2.0, 2 * 4 * 6)) {
+        let img = Tensor::from_vec(vals.clone(), Shape::new(vec![2, 4, 6])).unwrap();
+        let back = hflip(&hflip(&img));
+        prop_assert_eq!(back.as_slice(), &vals[..]);
+    }
+
+    /// Shifting by (dy,dx) then (−dy,−dx) restores interior pixels.
+    #[test]
+    fn shift_inverse_on_interior(
+        vals in proptest::collection::vec(-2.0f32..2.0, 1 * 6 * 6),
+        dy in -2isize..=2,
+        dx in -2isize..=2,
+    ) {
+        let img = Tensor::from_vec(vals, Shape::new(vec![1, 6, 6])).unwrap();
+        let round = shift_with_zero_fill(&shift_with_zero_fill(&img, dy, dx), -dy, -dx);
+        // Interior pixels (far enough from every edge) must survive.
+        for y in 2..4 {
+            for x in 2..4 {
+                prop_assert_eq!(round.at(&[0, y, x]), img.at(&[0, y, x]));
+            }
+        }
+    }
+
+    /// Noise monotonicity: higher noise raises the average distance
+    /// between same-class samples.
+    #[test]
+    fn noise_increases_intra_class_spread(seed in 0u64..200) {
+        let quiet = SynthSpec { classes: 2, channels: 1, size: 8, per_class: 6, noise: 0.05, max_shift: 0, seed };
+        let loud = SynthSpec { noise: 1.0, ..quiet };
+        let spread = |spec: &SynthSpec| {
+            let ds = SyntheticDataset::generate(spec);
+            let mut acc = 0.0f32;
+            let mut n = 0;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    let d = ds.sample(i).0.zip_map(ds.sample(j).0, |a, b| (a - b) * (a - b)).unwrap();
+                    acc += d.sum();
+                    n += 1;
+                }
+            }
+            acc / n as f32
+        };
+        prop_assert!(spread(&loud) > spread(&quiet));
+    }
+}

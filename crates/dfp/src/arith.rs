@@ -1,0 +1,357 @@
+//! Bit-accurate integer arithmetic mirroring the accelerator datapath of
+//! Figure 2(a): the 16-input widening adder tree, the accumulator-and-
+//! routing radix realignment, and saturation helpers.
+
+use crate::error::{DfpError, Result};
+
+/// Register width (bits) of a shifted product entering the adder tree.
+pub const PRODUCT_BITS: u8 = 16;
+/// Register width of the adder-tree root for a 16-input tree (16 + log2 16).
+pub const TREE_ROOT_BITS: u8 = 20;
+/// Register width of the multi-cycle accumulator.
+pub const ACCUMULATOR_BITS: u8 = 32;
+
+/// Returns `true` if `v` fits in a signed two's-complement register of
+/// `bits` bits.
+pub fn fits_in_bits(v: i64, bits: u8) -> bool {
+    debug_assert!(bits >= 1 && bits <= 63);
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    (lo..=hi).contains(&v)
+}
+
+/// Saturates `v` to a signed register of `bits` bits.
+pub fn saturate(v: i64, bits: u8) -> i64 {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    v.clamp(lo, hi)
+}
+
+/// Arithmetic shift with round-to-nearest (half away from zero) on right
+/// shifts — the rounding the "Accumulator & Routing" block applies when
+/// moving a wide accumulator value into a narrower output format.
+///
+/// `shift > 0` shifts left (exact); `shift < 0` shifts right with rounding.
+pub fn shift_round(v: i64, shift: i32) -> i64 {
+    if shift >= 0 {
+        v << shift
+    } else {
+        let s = (-shift) as u32;
+        if s >= 63 {
+            return 0;
+        }
+        let half = 1i64 << (s - 1);
+        if v >= 0 {
+            (v + half) >> s
+        } else {
+            -((-v + half) >> s)
+        }
+    }
+}
+
+/// Realigns an integer value from fractional length `from_frac` to
+/// `to_frac`, rounding when precision is dropped.
+///
+/// This is the radix bookkeeping the paper adds control signals for: the
+/// accumulator holds format `⟨wide, m+7⟩` and the output activation needs
+/// `⟨8, n⟩`, so the result is shifted by `n − (m+7)` with rounding.
+pub fn realign(v: i64, from_frac: i32, to_frac: i32) -> i64 {
+    shift_round(v, to_frac - from_frac)
+}
+
+/// The 16-input widening adder tree of the multiplier-free neuron.
+///
+/// Sixteen 16-bit shifted products are summed pairwise through four adder
+/// levels whose widths grow 17 → 18 → 19 → 20 bits, so intermediate sums
+/// can never overflow ("we ensure that there is no loss in intermediate
+/// values"). The struct records the number of adders per level for the
+/// hardware cost model.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::AdderTree;
+///
+/// let tree = AdderTree::new(16)?;
+/// let products = [100i32; 16];
+/// assert_eq!(tree.sum(&products)?, 1600);
+/// # Ok::<(), mfdfp_dfp::DfpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdderTree {
+    fan_in: usize,
+    levels: u32,
+}
+
+impl AdderTree {
+    /// Creates a tree for `fan_in` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::BadFanIn`] unless `fan_in` is a power of two
+    /// of at least 2.
+    pub fn new(fan_in: usize) -> Result<Self> {
+        if fan_in < 2 || !fan_in.is_power_of_two() {
+            return Err(DfpError::BadFanIn(fan_in));
+        }
+        Ok(AdderTree { fan_in, levels: fan_in.trailing_zeros() })
+    }
+
+    /// Number of inputs.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Number of adder levels (`log2 fan_in`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Adder count at level `l` (level 0 is nearest the inputs).
+    pub fn adders_at_level(&self, l: u32) -> usize {
+        self.fan_in >> (l + 1)
+    }
+
+    /// Register width in bits at the *output* of level `l`, starting from
+    /// [`PRODUCT_BITS`]-bit inputs: 17, 18, 19, 20 for a 16-input tree.
+    pub fn width_at_level(&self, l: u32) -> u8 {
+        PRODUCT_BITS + l as u8 + 1
+    }
+
+    /// Total adder count across all levels (`fan_in − 1`).
+    pub fn total_adders(&self) -> usize {
+        self.fan_in - 1
+    }
+
+    /// Sums `fan_in` products through the tree, verifying at every level
+    /// that each partial sum fits its stated register width — a bit-width
+    /// audit of the Figure 2(a) datapath, not just a sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::BadFanIn`] if `products.len() != fan_in`, or
+    /// [`DfpError::Overflow`] if a partial sum exceeds its level width
+    /// (impossible for genuine 16-bit products; reachable if callers feed
+    /// wider values).
+    pub fn sum(&self, products: &[i32]) -> Result<i64> {
+        if products.len() != self.fan_in {
+            return Err(DfpError::BadFanIn(products.len()));
+        }
+        for &p in products {
+            if !fits_in_bits(p as i64, PRODUCT_BITS) {
+                return Err(DfpError::Overflow { value: p as i64, bits: PRODUCT_BITS });
+            }
+        }
+        let mut level: Vec<i64> = products.iter().map(|&p| p as i64).collect();
+        for l in 0..self.levels {
+            let width = self.width_at_level(l);
+            let mut next = Vec::with_capacity(level.len() / 2);
+            for pair in level.chunks(2) {
+                let s = pair[0] + pair[1];
+                if !fits_in_bits(s, width) {
+                    return Err(DfpError::Overflow { value: s, bits: width });
+                }
+                next.push(s);
+            }
+            level = next;
+        }
+        Ok(level[0])
+    }
+}
+
+/// A multi-cycle accumulator with saturation audit, modelling the
+/// "Accumulator & Routing" block.
+///
+/// Layers wider than the physical fan-in are processed in several cycles;
+/// the tree root is accumulated here. The accumulator is
+/// [`ACCUMULATOR_BITS`] bits wide, which a bit-growth argument shows is
+/// sufficient for every layer in the paper's benchmarks (≤ 2^11 terms of
+/// ≤ 2^15 magnitude ⇒ ≤ 2^26).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    value: i64,
+}
+
+impl Accumulator {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        Accumulator { value: 0 }
+    }
+
+    /// Clears the accumulator (start of a new output neuron).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Adds a tree-root partial sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::Overflow`] if the running value leaves the
+    /// 32-bit register.
+    pub fn add(&mut self, partial: i64) -> Result<()> {
+        let v = self.value + partial;
+        if !fits_in_bits(v, ACCUMULATOR_BITS) {
+            return Err(DfpError::Overflow { value: v, bits: ACCUMULATOR_BITS });
+        }
+        self.value = v;
+        Ok(())
+    }
+
+    /// Current accumulated value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Routes the accumulated value out: realigns from fractional length
+    /// `from_frac` to `to_frac` (the `m`/`n` control signals), then
+    /// saturates to a signed `out_bits` activation code.
+    pub fn route(&self, from_frac: i32, to_frac: i32, out_bits: u8) -> i64 {
+        saturate(realign(self.value, from_frac, to_frac), out_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_in_bits_boundaries() {
+        assert!(fits_in_bits(127, 8));
+        assert!(fits_in_bits(-128, 8));
+        assert!(!fits_in_bits(128, 8));
+        assert!(!fits_in_bits(-129, 8));
+        assert!(fits_in_bits(32767, 16));
+        assert!(!fits_in_bits(32768, 16));
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        assert_eq!(saturate(1000, 8), 127);
+        assert_eq!(saturate(-1000, 8), -128);
+        assert_eq!(saturate(55, 8), 55);
+    }
+
+    #[test]
+    fn shift_round_left_is_exact() {
+        assert_eq!(shift_round(5, 3), 40);
+        assert_eq!(shift_round(-5, 2), -20);
+        assert_eq!(shift_round(0, 10), 0);
+    }
+
+    #[test]
+    fn shift_round_right_rounds_half_away() {
+        assert_eq!(shift_round(5, -1), 3); // 2.5 → 3
+        assert_eq!(shift_round(-5, -1), -3); // -2.5 → -3
+        assert_eq!(shift_round(4, -1), 2);
+        assert_eq!(shift_round(6, -2), 2); // 1.5 → 2
+        assert_eq!(shift_round(-6, -2), -2);
+        assert_eq!(shift_round(7, -3), 1); // 0.875 → 1
+        assert_eq!(shift_round(1, -63), 0);
+    }
+
+    #[test]
+    fn realign_round_trips_when_widening() {
+        // Widening (to_frac > from_frac) is exact and reversible.
+        for v in [-100i64, -1, 0, 1, 77] {
+            let wide = realign(v, 4, 9);
+            assert_eq!(realign(wide, 9, 4), v);
+        }
+    }
+
+    #[test]
+    fn realign_matches_float_semantics() {
+        // value v·2^-from == realign(v)·2^-to up to rounding.
+        let v = 12345i64;
+        let out = realign(v, 11, 4);
+        let float_in = v as f64 * 2f64.powi(-11);
+        let float_out = out as f64 * 2f64.powi(-4);
+        assert!((float_in - float_out).abs() <= 2f64.powi(-5)); // half LSB of target
+    }
+
+    #[test]
+    fn tree_requires_power_of_two_fan_in() {
+        assert!(AdderTree::new(16).is_ok());
+        assert!(AdderTree::new(2).is_ok());
+        assert!(AdderTree::new(1).is_err());
+        assert!(AdderTree::new(0).is_err());
+        assert!(AdderTree::new(12).is_err());
+    }
+
+    #[test]
+    fn tree_structure_matches_figure_2a() {
+        let t = AdderTree::new(16).unwrap();
+        assert_eq!(t.levels(), 4);
+        assert_eq!(t.total_adders(), 15);
+        assert_eq!(t.adders_at_level(0), 8);
+        assert_eq!(t.adders_at_level(3), 1);
+        // Widths annotated in Figure 2(a): 17, 18, 19, 20.
+        assert_eq!(t.width_at_level(0), 17);
+        assert_eq!(t.width_at_level(1), 18);
+        assert_eq!(t.width_at_level(2), 19);
+        assert_eq!(t.width_at_level(3), 20);
+        assert_eq!(TREE_ROOT_BITS, t.width_at_level(3));
+    }
+
+    #[test]
+    fn tree_sum_equals_naive_sum() {
+        let t = AdderTree::new(16).unwrap();
+        let products: Vec<i32> = (0..16).map(|i| (i * i * 31 - 700) as i32).collect();
+        let expect: i64 = products.iter().map(|&p| p as i64).sum();
+        assert_eq!(t.sum(&products).unwrap(), expect);
+    }
+
+    #[test]
+    fn tree_extreme_products_never_overflow_level_widths() {
+        // All-max and all-min products must pass the per-level audit: the
+        // widths in the figure are chosen exactly so this holds.
+        let t = AdderTree::new(16).unwrap();
+        let max = vec![(1i32 << 15) - 1; 16];
+        let min = vec![-(1i32 << 15); 16];
+        assert_eq!(t.sum(&max).unwrap(), 16 * ((1i64 << 15) - 1));
+        assert_eq!(t.sum(&min).unwrap(), 16 * -(1i64 << 15));
+    }
+
+    #[test]
+    fn tree_rejects_oversized_inputs() {
+        let t = AdderTree::new(16).unwrap();
+        let mut products = vec![0i32; 16];
+        products[3] = 1 << 15; // too wide for a 16-bit product register
+        assert!(matches!(t.sum(&products), Err(DfpError::Overflow { .. })));
+    }
+
+    #[test]
+    fn tree_rejects_wrong_input_count() {
+        let t = AdderTree::new(16).unwrap();
+        assert!(t.sum(&[0; 8]).is_err());
+    }
+
+    #[test]
+    fn accumulator_accumulates_and_routes() {
+        let mut acc = Accumulator::new();
+        acc.add(1000).unwrap();
+        acc.add(-300).unwrap();
+        assert_eq!(acc.value(), 700);
+        // 700 in frac 11 → frac 4 is 700/128 = 5.47 → 5
+        assert_eq!(acc.route(11, 4, 8), 5);
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+    }
+
+    #[test]
+    fn accumulator_route_saturates_to_output_bits() {
+        let mut acc = Accumulator::new();
+        acc.add(1 << 20).unwrap();
+        assert_eq!(acc.route(7, 7, 8), 127);
+        acc.reset();
+        acc.add(-(1 << 20)).unwrap();
+        assert_eq!(acc.route(7, 7, 8), -128);
+    }
+
+    #[test]
+    fn accumulator_overflow_detected() {
+        let mut acc = Accumulator::new();
+        acc.add((1i64 << 31) - 1).unwrap();
+        assert!(matches!(acc.add(1), Err(DfpError::Overflow { .. })));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the fixed-point numerics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from fixed-point formats and codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfpError {
+    /// Bit-width outside the supported 2..=32 range.
+    BadFormat {
+        /// Requested total bits.
+        bits: u8,
+        /// Requested fractional length.
+        frac: i8,
+    },
+    /// A 4-bit weight code outside 0..=15.
+    BadWeightCode(u8),
+    /// An adder-tree input count that is not a power of two.
+    BadFanIn(usize),
+    /// A value overflowed the stated hardware register width.
+    Overflow {
+        /// The value that did not fit.
+        value: i64,
+        /// The register width it had to fit in.
+        bits: u8,
+    },
+}
+
+impl fmt::Display for DfpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfpError::BadFormat { bits, frac } => {
+                write!(f, "unsupported fixed-point format ⟨{bits},{frac}⟩ (bits must be 2..=32)")
+            }
+            DfpError::BadWeightCode(c) => write!(f, "invalid 4-bit weight code {c} (must be 0..=15)"),
+            DfpError::BadFanIn(n) => write!(f, "adder tree fan-in {n} is not a power of two"),
+            DfpError::Overflow { value, bits } => {
+                write!(f, "value {value} overflows a {bits}-bit register")
+            }
+        }
+    }
+}
+
+impl Error for DfpError {}
+
+/// Convenience alias for fixed-point results.
+pub type Result<T> = std::result::Result<T, DfpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(DfpError::BadFormat { bits: 1, frac: 0 }.to_string().contains("⟨1,0⟩"));
+        assert!(DfpError::BadWeightCode(99).to_string().contains("99"));
+        assert!(DfpError::BadFanIn(3).to_string().contains('3'));
+        assert!(DfpError::Overflow { value: 70000, bits: 16 }.to_string().contains("70000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DfpError>();
+    }
+}

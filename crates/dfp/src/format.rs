@@ -1,0 +1,244 @@
+//! Dynamic fixed-point format `⟨b, f⟩` and activation quantization.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DfpError, Result};
+
+/// A dynamic fixed-point format `⟨b, f⟩` (Courbariaux et al. notation used
+/// by the paper): `b` total bits including sign, fractional length `f`.
+///
+/// A stored integer code `c` represents the real value `c · 2^(−f)`.
+/// "Dynamic" refers to different layers choosing different `f` — the paper's
+/// central data representation (`b = 8` everywhere in their experiments).
+///
+/// `f` may be negative (values larger than the integer range) or exceed
+/// `b−1` (values much smaller than 1); both arise in practice.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::DfpFormat;
+///
+/// let fmt = DfpFormat::new(8, 5)?; // Q2.5, range ±3.96875
+/// let code = fmt.quantize(1.37);
+/// assert_eq!(code, 44); // 44 · 2⁻⁵ = 1.375
+/// assert!((fmt.dequantize(code) - 1.375).abs() < 1e-6);
+/// # Ok::<(), mfdfp_dfp::DfpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DfpFormat {
+    bits: u8,
+    frac: i8,
+}
+
+impl DfpFormat {
+    /// The paper's activation bit-width.
+    pub const PAPER_BITS: u8 = 8;
+
+    /// Creates a format with `bits` total bits and fractional length `frac`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::BadFormat`] unless `2 ≤ bits ≤ 32`.
+    pub fn new(bits: u8, frac: i8) -> Result<Self> {
+        if !(2..=32).contains(&bits) {
+            return Err(DfpError::BadFormat { bits, frac });
+        }
+        Ok(DfpFormat { bits, frac })
+    }
+
+    /// The paper's 8-bit format with fractional length `frac`.
+    pub fn q8(frac: i8) -> Self {
+        DfpFormat { bits: 8, frac }
+    }
+
+    /// Total bit-width (including sign).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Fractional length `f`; the radix point sits `f` bits from the LSB.
+    pub fn frac(&self) -> i8 {
+        self.frac
+    }
+
+    /// Quantization step `2^(−f)` — the value of one LSB.
+    pub fn step(&self) -> f32 {
+        (-self.frac as f32).exp2()
+    }
+
+    /// Largest representable integer code: `2^(b−1) − 1`.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable integer code: `−2^(b−1)`.
+    pub fn min_code(&self) -> i32 {
+        -(1i32 << (self.bits - 1))
+    }
+
+    /// Largest representable real value.
+    pub fn max_value(&self) -> f32 {
+        self.max_code() as f32 * self.step()
+    }
+
+    /// Smallest (most negative) representable real value.
+    pub fn min_value(&self) -> f32 {
+        self.min_code() as f32 * self.step()
+    }
+
+    /// Quantizes a real value to the nearest integer code, saturating at the
+    /// format bounds (round half away from zero, the hardware convention).
+    pub fn quantize(&self, x: f32) -> i32 {
+        if x.is_nan() {
+            return 0;
+        }
+        let scaled = x / self.step();
+        let rounded = if scaled >= 0.0 { (scaled + 0.5).floor() } else { (scaled - 0.5).ceil() };
+        let clamped = rounded.clamp(self.min_code() as f32, self.max_code() as f32);
+        clamped as i32
+    }
+
+    /// Real value of an integer code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        code as f32 * self.step()
+    }
+
+    /// Quantize-dequantize round trip: the representable value nearest `x`.
+    pub fn round_trip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Quantizes a slice of reals into integer codes.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Dequantizes a slice of codes into reals.
+    pub fn dequantize_slice(&self, codes: &[i32]) -> Vec<f32> {
+        codes.iter().map(|&c| self.dequantize(c)).collect()
+    }
+
+    /// Worst-case absolute quantization error for in-range values: half an
+    /// LSB.
+    pub fn max_abs_error(&self) -> f32 {
+        self.step() / 2.0
+    }
+}
+
+impl Default for DfpFormat {
+    /// The paper's default: 8 bits, radix point mid-word (Q3.4).
+    fn default() -> Self {
+        DfpFormat::q8(4)
+    }
+}
+
+impl fmt::Display for DfpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.bits, self.frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(DfpFormat::new(8, 4).is_ok());
+        assert!(DfpFormat::new(1, 0).is_err());
+        assert!(DfpFormat::new(33, 0).is_err());
+        assert!(DfpFormat::new(2, -8).is_ok());
+    }
+
+    #[test]
+    fn code_range_is_twos_complement() {
+        let f = DfpFormat::q8(0);
+        assert_eq!(f.max_code(), 127);
+        assert_eq!(f.min_code(), -128);
+        let f = DfpFormat::new(4, 0).unwrap();
+        assert_eq!(f.max_code(), 7);
+        assert_eq!(f.min_code(), -8);
+    }
+
+    #[test]
+    fn step_and_range_follow_frac() {
+        let f = DfpFormat::q8(7);
+        assert_eq!(f.step(), 1.0 / 128.0);
+        assert!((f.max_value() - 127.0 / 128.0).abs() < 1e-6);
+        let f = DfpFormat::q8(0);
+        assert_eq!(f.max_value(), 127.0);
+        // Negative fractional length scales up.
+        let f = DfpFormat::q8(-2);
+        assert_eq!(f.step(), 4.0);
+        assert_eq!(f.max_value(), 508.0);
+    }
+
+    #[test]
+    fn quantize_round_half_away_from_zero() {
+        let f = DfpFormat::q8(0);
+        assert_eq!(f.quantize(2.5), 3);
+        assert_eq!(f.quantize(-2.5), -3);
+        assert_eq!(f.quantize(2.4), 2);
+        assert_eq!(f.quantize(-2.4), -2);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let f = DfpFormat::q8(0);
+        assert_eq!(f.quantize(1e9), 127);
+        assert_eq!(f.quantize(-1e9), -128);
+        assert_eq!(f.quantize(f32::INFINITY), 127);
+        assert_eq!(f.quantize(f32::NEG_INFINITY), -128);
+        assert_eq!(f.quantize(f32::NAN), 0);
+    }
+
+    #[test]
+    fn round_trip_error_within_half_step() {
+        let f = DfpFormat::q8(5);
+        for i in -100..100 {
+            let x = i as f32 * 0.037;
+            if x.abs() <= f.max_value() {
+                let err = (f.round_trip(x) - x).abs();
+                assert!(err <= f.max_abs_error() + 1e-7, "x={x} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_example_from_docs() {
+        let f = DfpFormat::new(8, 5).unwrap();
+        assert_eq!(f.quantize(1.37), 44);
+        assert!((f.dequantize(44) - 1.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_codes_survive() {
+        let f = DfpFormat::q8(4);
+        for code in [-128, -77, -1, 0, 1, 64, 127] {
+            assert_eq!(f.quantize(f.dequantize(code)), code);
+        }
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let f = DfpFormat::q8(4);
+        let xs = [0.5, -0.25, 3.0];
+        let codes = f.quantize_slice(&xs);
+        assert_eq!(codes, vec![8, -4, 48]);
+        let back = f.dequantize_slice(&codes);
+        assert_eq!(back, vec![0.5, -0.25, 3.0]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(DfpFormat::q8(4).to_string(), "⟨8,4⟩");
+    }
+
+    #[test]
+    fn default_is_paper_bits() {
+        assert_eq!(DfpFormat::default().bits(), DfpFormat::PAPER_BITS);
+    }
+}

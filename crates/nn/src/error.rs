@@ -1,0 +1,76 @@
+//! Error type for the network framework.
+
+use std::error::Error;
+use std::fmt;
+
+use mfdfp_tensor::TensorError;
+
+/// Errors from network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// A layer or network was configured inconsistently.
+    BadConfig(String),
+    /// Label index out of range for the classifier width.
+    BadLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the network produces.
+        classes: usize,
+    },
+    /// Batch size of inputs and labels disagree.
+    BatchMismatch {
+        /// Input batch size.
+        inputs: usize,
+        /// Label count.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::BatchMismatch { inputs, labels } => {
+                write!(f, "batch size mismatch: {inputs} inputs vs {labels} labels")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Convenience alias for network results.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = NnError::from(TensorError::AxisOutOfRange { axis: 1, rank: 1 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(Error::source(&e).is_some());
+        assert!(NnError::BadLabel { label: 12, classes: 10 }.to_string().contains("12"));
+        assert!(Error::source(&NnError::BadConfig("x".into())).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! The layer sum type and forward/backward dispatch.
+
+use mfdfp_tensor::Tensor;
+
+use crate::error::Result;
+use crate::layers::{Conv2d, Dropout, FakeQuant, Flatten, Linear, Lrn, Pool, Relu, Sigmoid, Tanh};
+
+/// Whether a forward pass is part of training (caches intermediates,
+/// enables dropout) or pure inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Training: layers cache what their backward pass needs.
+    Train,
+    /// Inference: no caching, dropout disabled.
+    #[default]
+    Eval,
+}
+
+/// A network layer.
+///
+/// Layers are a closed enum rather than trait objects so that the
+/// quantizer (`mfdfp-core`) and the accelerator scheduler (`mfdfp-accel`)
+/// can pattern-match on concrete layer kinds — mirroring how the paper's
+/// toolchain patches specific Caffe layer types.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Trainable convolution.
+    Conv(Conv2d),
+    /// Trainable fully-connected layer.
+    Linear(Linear),
+    /// Max/avg pooling.
+    Pool(Pool),
+    /// Rectified linear unit.
+    Relu(Relu),
+    /// Flatten to `N×features`.
+    Flatten(Flatten),
+    /// Inverted dropout.
+    Dropout(Dropout),
+    /// Local response normalization (removed by the paper; kept for the
+    /// ablation study).
+    Lrn(Lrn),
+    /// Straight-through fake quantization (inserted by the Phase-1/2
+    /// quantized working network).
+    FakeQuant(FakeQuant),
+    /// Hyperbolic tangent non-linearity.
+    Tanh(Tanh),
+    /// Logistic sigmoid non-linearity.
+    Sigmoid(Sigmoid),
+}
+
+impl Layer {
+    /// Forward pass through this layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/config errors from the concrete layer.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        match self {
+            Layer::Conv(l) => l.forward(x, phase),
+            Layer::Linear(l) => l.forward(x, phase),
+            Layer::Pool(l) => l.forward(x, phase),
+            Layer::Relu(l) => l.forward(x, phase),
+            Layer::Flatten(l) => l.forward(x, phase),
+            Layer::Dropout(l) => l.forward(x, phase),
+            Layer::Lrn(l) => l.forward(x, phase),
+            Layer::FakeQuant(l) => l.forward(x, phase),
+            Layer::Tanh(l) => l.forward(x, phase),
+            Layer::Sigmoid(l) => l.forward(x, phase),
+        }
+    }
+
+    /// Backward pass through this layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the concrete layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no cached forward state (backward without a
+    /// training-phase forward).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match self {
+            Layer::Conv(l) => l.backward(grad_out),
+            Layer::Linear(l) => l.backward(grad_out),
+            Layer::Pool(l) => l.backward(grad_out),
+            Layer::Relu(l) => l.backward(grad_out),
+            Layer::Flatten(l) => l.backward(grad_out),
+            Layer::Dropout(l) => l.backward(grad_out),
+            Layer::Lrn(l) => l.backward(grad_out),
+            Layer::FakeQuant(l) => l.backward(grad_out),
+            Layer::Tanh(l) => l.backward(grad_out),
+            Layer::Sigmoid(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Visits `(value, grad)` tensor pairs of every trainable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        match self {
+            Layer::Conv(l) => l.visit_params(f),
+            Layer::Linear(l) => l.visit_params(f),
+            _ => {}
+        }
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        match self {
+            Layer::Conv(l) => l.zero_grads(),
+            Layer::Linear(l) => l.zero_grads(),
+            _ => {}
+        }
+    }
+
+    /// Number of trainable parameters in this layer.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv(l) => l.param_count(),
+            Layer::Linear(l) => l.param_count(),
+            _ => 0,
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Layer::Conv(l) => {
+                let g = l.geometry();
+                format!(
+                    "{}: conv {}×{}×{} → {} (k{} s{} p{})",
+                    l.name(),
+                    g.in_c,
+                    g.in_h,
+                    g.in_w,
+                    g.out_c,
+                    g.kernel,
+                    g.stride,
+                    g.pad
+                )
+            }
+            Layer::Linear(l) => {
+                format!("{}: fc {} → {}", l.name(), l.in_features(), l.out_features())
+            }
+            Layer::Pool(l) => {
+                let g = l.geometry();
+                format!("{}: {:?}-pool w{} s{}", l.name(), l.kind(), g.window, g.stride)
+            }
+            Layer::Relu(_) => "relu".to_string(),
+            Layer::Flatten(_) => "flatten".to_string(),
+            Layer::Dropout(l) => format!("dropout p={}", l.probability()),
+            Layer::Lrn(l) => format!("lrn n={}", l.size()),
+            Layer::FakeQuant(l) => format!("fake-quant step={}", l.step()),
+            Layer::Tanh(_) => "tanh".to_string(),
+            Layer::Sigmoid(_) => "sigmoid".to_string(),
+        }
+    }
+
+    /// Whether this layer holds weights the paper quantizes (conv or FC).
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, Layer::Conv(_) | Layer::Linear(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_tensor::{ConvGeometry, TensorRng};
+
+    #[test]
+    fn describe_is_nonempty_for_all_variants() {
+        let mut rng = TensorRng::seed_from(1);
+        let layers = vec![
+            Layer::Conv(Conv2d::new("c", ConvGeometry::new(1, 4, 4, 2, 3, 1, 1).unwrap(), &mut rng)),
+            Layer::Linear(Linear::new("f", 4, 2, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dropout(Dropout::new(0.5, 1)),
+            Layer::Lrn(Lrn::alexnet()),
+        ];
+        for l in &layers {
+            assert!(!l.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn weighted_classification() {
+        let mut rng = TensorRng::seed_from(1);
+        assert!(Layer::Linear(Linear::new("f", 4, 2, &mut rng)).is_weighted());
+        assert!(!Layer::Relu(Relu::new()).is_weighted());
+        assert_eq!(Layer::Relu(Relu::new()).param_count(), 0);
+    }
+}

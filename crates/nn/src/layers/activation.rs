@@ -1,0 +1,447 @@
+//! Parameter-free layers: ReLU, flatten and dropout.
+
+use mfdfp_tensor::{Shape, Tensor, TensorRng};
+
+use crate::error::Result;
+use crate::layer::Phase;
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+
+    /// Forward pass; caches the activation mask when training.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Train {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    /// Backward pass: zeroes gradient where the input was non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().expect("relu backward without cached forward mask");
+        debug_assert_eq!(mask.len(), grad_out.len());
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.shape().clone())?)
+    }
+}
+
+/// Flattens `N×…` inputs to `N×features`, remembering the original shape
+/// for the backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+
+    /// Forward pass: reshape to `N×(rest)`.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let n = x.shape().dim(0);
+        let per = x.len() / n.max(1);
+        if phase == Phase::Train {
+            self.cached_shape = Some(x.shape().clone());
+        }
+        Ok(x.reshape([n, per])?)
+    }
+
+    /// Backward pass: restore the cached input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape =
+            self.cached_shape.as_ref().expect("flatten backward without cached forward shape");
+        Ok(grad_out.reshape(shape.clone())?)
+    }
+}
+
+/// Quantizes activations onto a fixed-point grid in the forward pass and
+/// passes gradients straight through in the backward pass (the
+/// straight-through estimator), zeroing them where the activation
+/// saturated.
+///
+/// This is how the Phase-1/2 *working network* rounds "the intermediate
+/// signals to 8-bit dynamic fixed-point": `mfdfp-core` inserts one
+/// `FakeQuant` per layer boundary with `step`/`min`/`max` derived from the
+/// calibrated [`DfpFormat`](../../mfdfp_dfp/struct.DfpFormat.html) of that
+/// boundary. Keeping the layer in plain `f32` terms leaves `mfdfp-nn`
+/// independent of the fixed-point crate.
+#[derive(Debug, Clone)]
+pub struct FakeQuant {
+    step: f32,
+    min: f32,
+    max: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl FakeQuant {
+    /// Creates a fake-quantization layer with grid `step` and saturation
+    /// bounds `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step > 0` and `min < max`.
+    pub fn new(step: f32, min: f32, max: f32) -> Self {
+        assert!(step > 0.0, "quantization step must be positive");
+        assert!(min < max, "quantization range must be non-empty");
+        FakeQuant { step, min, max, mask: None }
+    }
+
+    /// The grid step (one LSB).
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// The saturation bounds.
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    fn quantize_value(&self, x: f32) -> f32 {
+        let scaled = x / self.step;
+        let rounded =
+            if scaled >= 0.0 { (scaled + 0.5).floor() } else { (scaled - 0.5).ceil() };
+        (rounded * self.step).clamp(self.min, self.max)
+    }
+
+    /// Forward pass: snap to grid and saturate. Caches the in-range mask
+    /// when training.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Train {
+            self.mask =
+                Some(x.as_slice().iter().map(|&v| v >= self.min && v <= self.max).collect());
+        }
+        Ok(x.map(|v| self.quantize_value(v)))
+    }
+
+    /// Backward pass: straight-through inside the representable range,
+    /// zero where the forward pass saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask =
+            self.mask.as_ref().expect("fake-quant backward without cached forward mask");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.shape().clone())?)
+    }
+}
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so evaluation
+/// needs no rescaling (AlexNet uses `p = 0.5` on its first two FC layers).
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, rng: TensorRng::seed_from(seed), mask: None }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass; identity at eval time.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Eval || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> =
+            (0..x.len()).map(|_| if self.rng.coin(keep) { scale } else { 0.0 }).collect();
+        let data = x.as_slice().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        let out = Tensor::from_vec(data, x.shape().clone())?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    /// Backward pass: applies the same mask to the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().expect("dropout backward without cached forward mask");
+        let data = grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+        Ok(Tensor::from_vec(data, grad_out.shape().clone())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = r.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
+        r.forward(&x, Phase::Train).unwrap();
+        let g = r.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 4]);
+        let y = f.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 48]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = d.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        // Inverted dropout: E[y] == x.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let g = d.backward(&Tensor::ones([100])).unwrap();
+        assert_eq!(y.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 7);
+        let x = Tensor::from_slice(&[1.0, -2.0]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0, 1);
+    }
+}
+
+#[cfg(test)]
+mod fake_quant_tests {
+    use super::*;
+
+    #[test]
+    fn snaps_to_grid_round_half_away() {
+        let mut fq = FakeQuant::new(0.25, -2.0, 2.0);
+        let x = Tensor::from_slice(&[0.3, 0.125, -0.125, 1.99, 5.0, -5.0]);
+        let y = fq.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.25, 0.25, -0.25, 2.0, 2.0, -2.0]);
+    }
+
+    #[test]
+    fn ste_passes_gradient_in_range_only() {
+        let mut fq = FakeQuant::new(0.25, -1.0, 1.0);
+        let x = Tensor::from_slice(&[0.5, 3.0, -3.0]);
+        fq.forward(&x, Phase::Train).unwrap();
+        let g = fq.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantized_values_are_idempotent() {
+        let mut fq = FakeQuant::new(0.125, -4.0, 4.0);
+        let x = Tensor::from_slice(&[0.377, -1.22, 3.999]);
+        let once = fq.forward(&x, Phase::Eval).unwrap();
+        let twice = fq.forward(&once, Phase::Eval).unwrap();
+        assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_zero_step() {
+        let _ = FakeQuant::new(0.0, -1.0, 1.0);
+    }
+}
+
+/// Hyperbolic tangent activation (the paper's Section 2 lists `tanh` among
+/// the non-linearity options; the benchmark networks use ReLU).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { cached_output: None }
+    }
+
+    /// Forward pass; caches the output when training (the derivative is
+    /// `1 − y²`).
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let y = x.map(f32::tanh);
+        if phase == Phase::Train {
+            self.cached_output = Some(y.clone());
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: `g · (1 − y²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self.cached_output.as_ref().expect("tanh backward without cached forward output");
+        Ok(grad_out.zip_map(y, |g, y| g * (1.0 - y * y))?)
+    }
+}
+
+/// Logistic sigmoid activation, `y = 1/(1+e^{−x})`.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { cached_output: None }
+    }
+
+    /// Forward pass; caches the output when training (the derivative is
+    /// `y(1 − y)`).
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        if phase == Phase::Train {
+            self.cached_output = Some(y.clone());
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: `g · y · (1 − y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("sigmoid backward without cached forward output");
+        Ok(grad_out.zip_map(y, |g, y| g * y * (1.0 - y))?)
+    }
+}
+
+#[cfg(test)]
+mod smooth_activation_tests {
+    use super::*;
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[-2.0, 0.0, 0.5]);
+        let y = t.forward(&x, Phase::Eval).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b.tanh()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[-1.2, 0.0, 0.7, 2.5]);
+        t.forward(&x, Phase::Train).unwrap();
+        let g = t.backward(&Tensor::ones([4])).unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let numeric = ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh())
+                / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-4, "i={i}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_slice(&[-10.0, 0.0, 10.0]);
+        let y = s.forward(&x, Phase::Eval).unwrap();
+        assert!(y.as_slice()[0] < 0.001);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 0.999);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_difference() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_slice(&[-0.8, 0.3, 1.9]);
+        s.forward(&x, Phase::Train).unwrap();
+        let g = s.backward(&Tensor::ones([3])).unwrap();
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let eps = 1e-3;
+        for i in 0..3 {
+            let numeric =
+                (sig(x.as_slice()[i] + eps) - sig(x.as_slice()[i] - eps)) / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-4, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Trainable 2-D convolution layer.
+
+use mfdfp_tensor::{conv2d_backward, conv2d_forward, ConvGeometry, Tensor, TensorRng};
+
+use crate::error::Result;
+use crate::layer::Phase;
+
+/// A 2-D convolution with bias, trained by backprop.
+///
+/// Weights are stored `OutC×InC×k×k`, bias `OutC`. The layer caches its
+/// input during the forward pass; [`Conv2d::backward`] consumes the cache
+/// and **accumulates** parameter gradients (callers zero them between
+/// steps via the network).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    geom: ConvGeometry,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights and zero bias.
+    pub fn new(name: impl Into<String>, geom: ConvGeometry, rng: &mut TensorRng) -> Self {
+        let fan_in = geom.col_height();
+        let weights = rng.he(geom.weight_dims().to_vec(), fan_in);
+        Conv2d {
+            name: name.into(),
+            geom,
+            bias: Tensor::zeros([geom.out_c]),
+            grad_w: Tensor::zeros(weights.shape().clone()),
+            grad_b: Tensor::zeros([geom.out_c]),
+            weights,
+            cached_input: None,
+        }
+    }
+
+    /// The layer's name (used in reports and radix-point tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// Immutable weight access (`OutC×InC×k×k`).
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable weight access (the quantizer swaps weights here).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass; caches the input when training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the convolution kernel.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let y = conv2d_forward(x, &self.weights, &self.bias, &self.geom)?;
+        if phase == Phase::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients, returns the input
+    /// gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self.cached_input.as_ref().expect("conv backward without cached forward input");
+        let (gx, gw, gb) = conv2d_backward(x, &self.weights, grad_out, &self.geom)?;
+        self.grad_w.axpy(1.0, &gw)?;
+        self.grad_b.axpy(1.0, &gb)?;
+        Ok(gx)
+    }
+
+    /// Visits `(value, grad)` parameter pairs: weights first, then bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w.zero();
+        self.grad_b.zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_tensor::Shape;
+
+    fn small() -> (Conv2d, Tensor) {
+        let mut rng = TensorRng::seed_from(3);
+        let geom = ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let layer = Conv2d::new("conv", geom, &mut rng);
+        let x = rng.gaussian([2, 2, 5, 5], 0.0, 1.0);
+        (layer, x)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (mut layer, x) = small();
+        let y = layer.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &Shape::nchw(2, 3, 5, 5));
+    }
+
+    #[test]
+    fn eval_does_not_cache() {
+        let (mut layer, x) = small();
+        layer.forward(&x, Phase::Eval).unwrap();
+        assert!(layer.cached_input.is_none());
+        layer.forward(&x, Phase::Train).unwrap();
+        assert!(layer.cached_input.is_some());
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let (mut layer, x) = small();
+        let y = layer.forward(&x, Phase::Train).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        layer.backward(&go).unwrap();
+        let g1 = layer.grad_w.clone();
+        layer.forward(&x, Phase::Train).unwrap();
+        layer.backward(&go).unwrap();
+        // Second backward doubles the accumulated gradient.
+        for (a, b) in layer.grad_w.as_slice().iter().zip(g1.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+        layer.zero_grads();
+        assert_eq!(layer.grad_w.sum(), 0.0);
+    }
+
+    #[test]
+    fn param_count() {
+        let (layer, _) = small();
+        assert_eq!(layer.param_count(), 3 * 2 * 3 * 3 + 3);
+    }
+
+    #[test]
+    fn visit_params_order_is_weights_then_bias() {
+        let (mut layer, _) = small();
+        let mut sizes = Vec::new();
+        layer.visit_params(&mut |v, _| sizes.push(v.len()));
+        assert_eq!(sizes, vec![54, 3]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Trainable fully-connected (inner-product) layer.
+
+use mfdfp_tensor::{gemm, Shape, Tensor, TensorRng, Transpose};
+
+use crate::error::{NnError, Result};
+use crate::layer::Phase;
+
+/// A fully-connected layer `y = W x + b`.
+///
+/// Weights are stored `out×in`; inputs of any rank are flattened per-sample
+/// to `in` features, so a `Linear` can directly follow a convolution stack
+/// without an explicit flatten (though the model zoo inserts one for
+/// clarity).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a fully-connected layer with Xavier-initialised weights.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let weights = rng.xavier([out_features, in_features], in_features, out_features);
+        Linear {
+            name: name.into(),
+            in_features,
+            out_features,
+            bias: Tensor::zeros([out_features]),
+            grad_w: Tensor::zeros([out_features, in_features]),
+            grad_b: Tensor::zeros([out_features]),
+            weights,
+            cached_input: None,
+        }
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable weight access (`out×in`).
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable weight access (the quantizer swaps weights here).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn flatten_batch(&self, x: &Tensor) -> Result<Tensor> {
+        let n = x.shape().dim(0);
+        let per = x.len() / n.max(1);
+        if per != self.in_features {
+            return Err(NnError::BadConfig(format!(
+                "linear layer {} expects {} features, input {} provides {per}",
+                self.name,
+                self.in_features,
+                x.shape()
+            )));
+        }
+        Ok(x.reshape([n, self.in_features])?)
+    }
+
+    /// Forward pass `Y = X Wᵀ + b`; caches the (flattened) input when
+    /// training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the per-sample feature count does
+    /// not match `in_features`.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let x2 = self.flatten_batch(x)?;
+        let mut y = gemm(&x2, Transpose::No, &self.weights, Transpose::Yes)?;
+        let n = y.shape().dim(0);
+        {
+            let yd = y.as_mut_slice();
+            let bd = self.bias.as_slice();
+            for r in 0..n {
+                for (o, &b) in yd[r * self.out_features..(r + 1) * self.out_features]
+                    .iter_mut()
+                    .zip(bd)
+                {
+                    *o += b;
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cached_input = Some(x2);
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates gradients, returns input gradient with
+    /// the flattened `N×in` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self.cached_input.as_ref().expect("linear backward without cached forward input");
+        let n = grad_out.shape().dim(0);
+        let go = grad_out.reshape([n, self.out_features])?;
+        // dW = dYᵀ × X  (out×in)
+        let dw = gemm(&go, Transpose::Yes, x, Transpose::No)?;
+        self.grad_w.axpy(1.0, &dw)?;
+        // db = column sums of dY
+        {
+            let gb = self.grad_b.as_mut_slice();
+            let god = go.as_slice();
+            for r in 0..n {
+                for (b, &g) in gb.iter_mut().zip(&god[r * self.out_features..(r + 1) * self.out_features]) {
+                    *b += g;
+                }
+            }
+        }
+        // dX = dY × W  (n×in)
+        let gx = gemm(&go, Transpose::No, &self.weights, Transpose::No)?;
+        Ok(gx)
+    }
+
+    /// Visits `(value, grad)` parameter pairs: weights first, then bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w.zero();
+        self.grad_b.zero();
+    }
+
+    /// Expected output shape for a batch of `n`.
+    pub fn output_shape(&self, n: usize) -> Shape {
+        Shape::d2(n, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut l = Linear::new("fc", 2, 2, &mut rng);
+        *l.weights_mut() = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        *l.bias_mut() = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], Shape::d2(1, 2)).unwrap();
+        let y = l.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 6.5]); // [1+2+0.5, 3+4-0.5]
+    }
+
+    #[test]
+    fn accepts_4d_input_by_flattening() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut l = Linear::new("fc", 12, 4, &mut rng);
+        let x = Tensor::zeros([2, 3, 2, 2]);
+        let y = l.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut l = Linear::new("fc", 10, 4, &mut rng);
+        let x = Tensor::zeros([2, 3]);
+        assert!(matches!(l.forward(&x, Phase::Eval), Err(NnError::BadConfig(_))));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut l = Linear::new("fc", 3, 2, &mut rng);
+        let x = rng.gaussian([4, 3], 0.0, 1.0);
+        let y = l.forward(&x, Phase::Train).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        let gx = l.backward(&go).unwrap();
+
+        let eps = 1e-2;
+        // Weight gradient check.
+        for idx in [0usize, 3, 5] {
+            let orig = l.weights.as_slice()[idx];
+            l.weights.as_mut_slice()[idx] = orig + eps;
+            let up = l.forward(&x, Phase::Eval).unwrap().sum();
+            l.weights.as_mut_slice()[idx] = orig - eps;
+            let down = l.forward(&x, Phase::Eval).unwrap().sum();
+            l.weights.as_mut_slice()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - l.grad_w.as_slice()[idx]).abs() < 1e-2);
+        }
+        // Input gradient: dsum/dx = column sums of W.
+        for j in 0..3 {
+            let expect: f32 = (0..2).map(|i| l.weights.at(&[i, j])).sum();
+            for r in 0..4 {
+                assert!((gx.at(&[r, j]) - expect).abs() < 1e-5);
+            }
+        }
+        // Bias gradient of a sum-loss is the batch size.
+        for &g in l.grad_b.as_slice() {
+            assert!((g - 4.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = TensorRng::seed_from(1);
+        let l = Linear::new("fc", 64, 10, &mut rng);
+        assert_eq!(l.param_count(), 64 * 10 + 10);
+    }
+}

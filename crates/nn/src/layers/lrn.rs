@@ -1,0 +1,218 @@
+//! Local response normalization (across channels).
+//!
+//! AlexNet's original recipe includes LRN; the paper *removes* those layers
+//! ("we remove all local response normalization layers since they are not
+//! amenable to our multiplier-free hardware implementation"). The layer is
+//! implemented here so the ablation bench can quantify exactly what that
+//! removal costs in the float baseline.
+
+use mfdfp_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::Phase;
+
+/// Across-channel local response normalization:
+/// `y_i = x_i · (k + (α/n) Σ_{j∈window(i)} x_j²)^(−β)`.
+#[derive(Debug, Clone)]
+pub struct Lrn {
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cached: Option<LrnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LrnCache {
+    input: Tensor,
+    denom: Tensor,
+}
+
+impl Lrn {
+    /// Creates an LRN layer with window `size` (channels), scale `alpha`,
+    /// exponent `beta` and bias `k` (AlexNet: 5, 1e-4, 0.75, 1.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for a zero window or non-positive `k`.
+    pub fn new(size: usize, alpha: f32, beta: f32, k: f32) -> Result<Self> {
+        if size == 0 {
+            return Err(NnError::BadConfig("LRN window must be positive".into()));
+        }
+        if k <= 0.0 {
+            return Err(NnError::BadConfig("LRN bias k must be positive".into()));
+        }
+        Ok(Lrn { size, alpha, beta, k, cached: None })
+    }
+
+    /// AlexNet's LRN hyper-parameters.
+    pub fn alexnet() -> Self {
+        Lrn::new(5, 1e-4, 0.75, 1.0).expect("constants are valid")
+    }
+
+    /// Window size in channels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn denominators(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        let half = self.size / 2;
+        let xd = x.as_slice();
+        let mut denom = Tensor::zeros(x.shape().clone());
+        let dd = denom.as_mut_slice();
+        let plane = h * w;
+        for s in 0..n {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(half);
+                let hi = (ci + half).min(c - 1);
+                for p in 0..plane {
+                    let mut acc = 0.0f32;
+                    for cj in lo..=hi {
+                        let v = xd[(s * c + cj) * plane + p];
+                        acc += v * v;
+                    }
+                    dd[(s * c + ci) * plane + p] = self.k + self.alpha / self.size as f32 * acc;
+                }
+            }
+        }
+        denom
+    }
+
+    /// Forward pass; caches input and denominators when training.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` is not rank-4 NCHW.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if x.shape().rank() != 4 {
+            return Err(NnError::BadConfig(format!("LRN expects NCHW input, got {}", x.shape())));
+        }
+        let denom = self.denominators(x);
+        let y = x.zip_map(&denom, |xi, d| xi * d.powf(-self.beta))?;
+        if phase == Phase::Train {
+            self.cached = Some(LrnCache { input: x.clone(), denom });
+        }
+        Ok(y)
+    }
+
+    /// Backward pass using the cached denominators.
+    ///
+    /// For `y_i = x_i d_i^{−β}` with `d_i = k + (α/n)Σ x_j²`:
+    /// `∂L/∂x_m = g_m d_m^{−β} − (2αβ/n) x_m Σ_{i∋m} g_i x_i d_i^{−β−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-phase forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cached.as_ref().expect("LRN backward without cached forward state");
+        let x = &cache.input;
+        let denom = &cache.denom;
+        let (n, c, h, w) = x.shape().as_nchw();
+        let half = self.size / 2;
+        let plane = h * w;
+        let xd = x.as_slice();
+        let dd = denom.as_slice();
+        let gd = grad_out.as_slice();
+        // t_i = g_i · x_i · d_i^{−β−1}, precomputed per element.
+        let t: Vec<f32> = (0..x.len())
+            .map(|i| gd[i] * xd[i] * dd[i].powf(-self.beta - 1.0))
+            .collect();
+        let mut gx = Tensor::zeros(x.shape().clone());
+        let gxd = gx.as_mut_slice();
+        let scale = 2.0 * self.alpha * self.beta / self.size as f32;
+        for s in 0..n {
+            for cm in 0..c {
+                // i ∋ m ⇔ |i − m| ≤ half
+                let lo = cm.saturating_sub(half);
+                let hi = (cm + half).min(c - 1);
+                for p in 0..plane {
+                    let m_off = (s * c + cm) * plane + p;
+                    let mut cross = 0.0f32;
+                    for ci in lo..=hi {
+                        cross += t[(s * c + ci) * plane + p];
+                    }
+                    gxd[m_off] = gd[m_off] * dd[m_off].powf(-self.beta) - scale * xd[m_off] * cross;
+                }
+            }
+        }
+        Ok(gx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Lrn::new(0, 1e-4, 0.75, 1.0).is_err());
+        assert!(Lrn::new(5, 1e-4, 0.75, 0.0).is_err());
+        assert!(Lrn::new(5, 1e-4, 0.75, 1.0).is_ok());
+    }
+
+    #[test]
+    fn identity_when_alpha_zero() {
+        let mut lrn = Lrn::new(3, 0.0, 0.75, 1.0).unwrap();
+        let x = Tensor::from_fn([1, 4, 2, 2], |i| i as f32 * 0.1);
+        let y = lrn.forward(&x, Phase::Eval).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalizes_large_activations_downward() {
+        let mut lrn = Lrn::alexnet();
+        let x = Tensor::full([1, 5, 1, 1], 10.0);
+        let y = lrn.forward(&x, Phase::Eval).unwrap();
+        for &v in y.as_slice() {
+            assert!(v < 10.0);
+            assert!(v > 9.0); // alpha is tiny
+        }
+    }
+
+    #[test]
+    fn window_is_local_in_channels() {
+        // Only the centre channel is hot; far channels keep denom == k.
+        let mut lrn = Lrn::new(3, 1.0, 1.0, 1.0).unwrap();
+        let mut x = Tensor::zeros([1, 7, 1, 1]);
+        x.as_mut_slice()[3] = 3.0;
+        x.as_mut_slice()[0] = 1.0;
+        x.as_mut_slice()[6] = 1.0;
+        let y = lrn.forward(&x, Phase::Eval).unwrap();
+        // Channel 0 is out of channel-3's window: d = 1 + (1/3)(1²) = 4/3.
+        assert!((y.as_slice()[0] - 1.0 / (4.0 / 3.0)).abs() < 1e-5);
+        // Channel 3: d = 1 + (1/3)(9) = 4 → y = 3/4 … wait uses window {2,3,4} = 9 → d = 1+3 = 4.
+        assert!((y.as_slice()[3] - 3.0 / 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut lrn = Lrn::new(3, 0.5, 0.75, 2.0).unwrap();
+        let mut x = Tensor::from_fn([1, 4, 2, 2], |i| ((i as f32) * 0.37).sin());
+        let y = lrn.forward(&x, Phase::Train).unwrap();
+        let gx = lrn.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let up = lrn.forward(&x, Phase::Eval).unwrap().sum();
+            x.as_mut_slice()[idx] = orig - eps;
+            let down = lrn.forward(&x, Phase::Eval).unwrap().sum();
+            x.as_mut_slice()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        let mut lrn = Lrn::alexnet();
+        assert!(lrn.forward(&Tensor::zeros([4, 4]), Phase::Eval).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod conv;
+mod linear;
+mod lrn;
+mod pool;
+
+pub use activation::{Dropout, FakeQuant, Flatten, Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use lrn::Lrn;
+pub use pool::Pool;

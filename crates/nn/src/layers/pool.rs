@@ -1,0 +1,96 @@
+//! Pooling layers wrapping the tensor-crate kernels.
+
+use mfdfp_tensor::{pool_backward, pool_forward, PoolGeometry, PoolKind, Tensor};
+
+use crate::error::Result;
+use crate::layer::Phase;
+
+/// A max- or average-pooling layer.
+///
+/// Caffe's cifar10-quick uses MAX for pool1 and AVE for pool2/pool3;
+/// AlexNet uses MAX throughout — both flavours appear in the model zoo.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    name: String,
+    kind: PoolKind,
+    geom: PoolGeometry,
+    cached_argmax: Option<Vec<usize>>,
+}
+
+impl Pool {
+    /// Creates a pooling layer.
+    pub fn new(name: impl Into<String>, kind: PoolKind, geom: PoolGeometry) -> Self {
+        Pool { name: name.into(), kind, geom, cached_argmax: None }
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pooling flavour.
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// The pooling geometry.
+    pub fn geometry(&self) -> &PoolGeometry {
+        &self.geom
+    }
+
+    /// Forward pass; caches argmax indices when training.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let (y, argmax) = pool_forward(x, self.kind, &self.geom)?;
+        if phase == Phase::Train {
+            self.cached_argmax = Some(argmax);
+        }
+        Ok(y)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics for max pooling if called without a preceding training-phase
+    /// forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let argmax: &[usize] = match self.kind {
+            PoolKind::Max => self
+                .cached_argmax
+                .as_deref()
+                .expect("max-pool backward without cached forward argmax"),
+            PoolKind::Avg => &[],
+        };
+        Ok(pool_backward(grad_out, self.kind, argmax, &self.geom)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_tensor::Shape;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let geom = PoolGeometry::new(2, 8, 8, 2, 2).unwrap();
+        let mut p = Pool::new("pool", PoolKind::Max, geom);
+        let x = Tensor::from_fn([3, 2, 8, 8], |i| i as f32 * 0.01);
+        let y = p.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::nchw(3, 2, 4, 4));
+        let g = p.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        // Max-pool gradient is a permutation matrix row: total preserved.
+        assert_eq!(g.sum(), y.len() as f32);
+    }
+
+    #[test]
+    fn avg_needs_no_cache() {
+        let geom = PoolGeometry::new(1, 4, 4, 2, 2).unwrap();
+        let mut p = Pool::new("pool", PoolKind::Avg, geom);
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let _ = p.forward(&x, Phase::Eval).unwrap();
+        // Backward after eval-mode forward is fine for avg.
+        let g = p.backward(&Tensor::ones([1, 1, 2, 2])).unwrap();
+        assert_eq!(g.sum(), 4.0);
+    }
+}

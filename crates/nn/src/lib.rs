@@ -1,0 +1,58 @@
+//! # mfdfp-nn — a from-scratch CPU deep-learning framework
+//!
+//! The float-network substrate of the MF-DFP reproduction (Tann et al.,
+//! DAC 2017). The paper's Algorithm 1 starts from a *trained
+//! floating-point network* and repeatedly runs forward/backward passes
+//! while quantizing; this crate supplies everything that requires:
+//!
+//! * [`Network`] — a sequential stack of [`Layer`]s (conv, FC, pooling,
+//!   ReLU, dropout, LRN, flatten) with exact backprop.
+//! * [`softmax_cross_entropy`] and [`distillation_loss`] — the hard-label
+//!   loss of Phase 1 and the student–teacher loss of Phase 2
+//!   (Equations 1–2, including the paper's high-temperature gradient
+//!   approximation as [`DistillMode::PaperApprox`]).
+//! * [`Sgd`] with momentum/weight decay and the paper's
+//!   [`PlateauSchedule`] (÷10 on plateau, stop below 1e-7).
+//! * [`Accuracy`] — top-1/top-5 metrics (Table 2's accuracy columns).
+//! * [`zoo`] — the paper's benchmark topologies: CIFAR-10 quick and
+//!   AlexNet (LRN removed), plus scaled variants for CPU budgets.
+//!
+//! # Examples
+//!
+//! ```
+//! use mfdfp_nn::{softmax_cross_entropy, train_epoch, Network, Phase, Sgd, SgdConfig};
+//! use mfdfp_nn::layer::Layer;
+//! use mfdfp_nn::layers::Linear;
+//! use mfdfp_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(7);
+//! let mut net = Network::new("demo");
+//! net.push(Layer::Linear(Linear::new("fc", 4, 2, &mut rng)));
+//! let cfg = SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 };
+//! let mut sgd = Sgd::new(cfg)?;
+//! let batch = (rng.gaussian([8, 4], 0.0, 1.0), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+//! let stats = train_epoch(&mut net, &mut sgd, vec![batch])?;
+//! assert_eq!(stats.samples, 8);
+//! # Ok::<(), mfdfp_nn::NnError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod io;
+pub mod layer;
+pub mod layers;
+mod loss;
+mod metrics;
+mod net;
+mod optim;
+mod trainer;
+pub mod zoo;
+
+pub use error::{NnError, Result};
+pub use layer::{Layer, Phase};
+pub use loss::{distillation_loss, softmax_cross_entropy, DistillConfig, DistillMode};
+pub use metrics::{Accuracy, ConfusionMatrix};
+pub use net::Network;
+pub use optim::{PlateauSchedule, Sgd, SgdConfig};
+pub use trainer::{collect_logits, evaluate, train_epoch, EpochStats};

@@ -1,0 +1,313 @@
+//! Classification metrics: top-1 / top-5 accuracy, error rates.
+
+use mfdfp_tensor::{argmax_rows, topk_rows, Tensor};
+
+use crate::error::{NnError, Result};
+
+/// Accuracy counters accumulated over evaluation batches.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_nn::Accuracy;
+/// use mfdfp_tensor::{Shape, Tensor};
+///
+/// let mut acc = Accuracy::new(5);
+/// let logits = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.0, 0.0], Shape::d2(1, 5))?;
+/// acc.update(&logits, &[1])?;
+/// assert_eq!(acc.top1(), 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accuracy {
+    k: usize,
+    total: usize,
+    top1_hits: usize,
+    topk_hits: usize,
+}
+
+impl Accuracy {
+    /// Creates a counter also tracking top-`k` hits (`k = 5` for the
+    /// paper's ImageNet numbers; use `k = 1` to track only top-1).
+    pub fn new(k: usize) -> Self {
+        Accuracy { k: k.max(1), total: 0, top1_hits: 0, topk_hits: 0 }
+    }
+
+    /// Ingests one batch of logits and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] if sizes disagree.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) -> Result<()> {
+        let n = logits.shape().dim(0);
+        if n != labels.len() {
+            return Err(NnError::BatchMismatch { inputs: n, labels: labels.len() });
+        }
+        let top1 = argmax_rows(logits)?;
+        let topk = topk_rows(logits, self.k)?;
+        for i in 0..n {
+            self.total += 1;
+            if top1[i] == labels[i] {
+                self.top1_hits += 1;
+            }
+            if topk[i].contains(&labels[i]) {
+                self.topk_hits += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples seen so far.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Top-1 accuracy in `[0, 1]` (0 when empty).
+    pub fn top1(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.top1_hits as f32 / self.total as f32
+        }
+    }
+
+    /// Top-k accuracy in `[0, 1]` (0 when empty).
+    pub fn topk(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.topk_hits as f32 / self.total as f32
+        }
+    }
+
+    /// Top-1 error rate (`1 − top1`), the quantity plotted in Figure 3.
+    pub fn top1_error(&self) -> f32 {
+        1.0 - self.top1()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.total = 0;
+        self.top1_hits = 0;
+        self.topk_hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_tensor::Shape;
+
+    fn logits(vals: &[f32], n: usize, k: usize) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), Shape::d2(n, k)).unwrap()
+    }
+
+    #[test]
+    fn counts_top1_and_topk() {
+        let mut acc = Accuracy::new(2);
+        // Sample 0: argmax 1, label 1 → top1 hit.
+        // Sample 1: argmax 0, label 2 → miss; top2 is {0,1} → miss.
+        // Sample 2: argmax 2, label 1 → miss; top2 {2,1} → top-2 hit.
+        let z = logits(
+            &[0.1, 0.9, 0.0, 0.9, 0.1, 0.0, 0.1, 0.3, 0.6],
+            3,
+            3,
+        );
+        acc.update(&z, &[1, 2, 1]).unwrap();
+        assert_eq!(acc.total(), 3);
+        assert!((acc.top1() - 1.0 / 3.0).abs() < 1e-6);
+        assert!((acc.topk() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((acc.top1_error() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulates_across_batches() {
+        let mut acc = Accuracy::new(1);
+        let z = logits(&[1.0, 0.0], 1, 2);
+        acc.update(&z, &[0]).unwrap();
+        acc.update(&z, &[1]).unwrap();
+        assert_eq!(acc.total(), 2);
+        assert!((acc.top1() - 0.5).abs() < 1e-6);
+        acc.reset();
+        assert_eq!(acc.total(), 0);
+        assert_eq!(acc.top1(), 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_batch() {
+        let mut acc = Accuracy::new(1);
+        let z = logits(&[1.0, 0.0], 1, 2);
+        assert!(acc.update(&z, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn k_is_clamped_to_at_least_one() {
+        let acc = Accuracy::new(0);
+        assert_eq!(acc.k, 1);
+    }
+}
+
+/// A confusion matrix accumulated over evaluation batches: rows are true
+/// classes, columns predicted classes.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_nn::ConfusionMatrix;
+/// use mfdfp_tensor::{Shape, Tensor};
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// let logits = Tensor::from_vec(vec![0.0, 1.0, 0.0], Shape::d2(1, 3))?;
+/// cm.update(&logits, &[2])?; // true 2, predicted 1
+/// assert_eq!(cm.count(2, 1), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `classes × classes` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Ingests a batch of logits and true labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] on size disagreement or
+    /// [`NnError::BadLabel`] for out-of-range labels.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) -> Result<()> {
+        let n = logits.shape().dim(0);
+        if n != labels.len() {
+            return Err(NnError::BatchMismatch { inputs: n, labels: labels.len() });
+        }
+        let preds = argmax_rows(logits)?;
+        for (&truth, &pred) in labels.iter().zip(&preds) {
+            if truth >= self.classes {
+                return Err(NnError::BadLabel { label: truth, classes: self.classes });
+            }
+            // Predictions are argmax over logits columns, so pred < classes
+            // whenever logits have the right width; guard anyway.
+            if pred >= self.classes {
+                return Err(NnError::BadLabel { label: pred, classes: self.classes });
+            }
+            self.counts[truth * self.classes + pred] += 1;
+        }
+        Ok(())
+    }
+
+    /// Times true class `t` was predicted as class `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.classes + p]
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: u64 = self.counts[class * self.classes..(class + 1) * self.classes]
+            .iter()
+            .sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / row as f32)
+        }
+    }
+
+    /// Per-class precision (diagonal over column sum); `None` when the
+    /// class was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / col as f32)
+        }
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f32 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Total samples ingested.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod confusion_tests {
+    use super::*;
+    use mfdfp_tensor::Shape;
+
+    fn logits(vals: &[f32], n: usize, k: usize) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), Shape::d2(n, k)).unwrap()
+    }
+
+    #[test]
+    fn counts_land_in_cells() {
+        let mut cm = ConfusionMatrix::new(2);
+        // pred 1 / true 0; pred 0 / true 0; pred 1 / true 1
+        let z = logits(&[0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 3, 2);
+        cm.update(&z, &[0, 0, 1]).unwrap();
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 0);
+        assert_eq!(cm.total(), 3);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let mut cm = ConfusionMatrix::new(2);
+        let z = logits(&[1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0], 4, 2);
+        // preds: 0,0,1,0 — labels: 0,1,1,1
+        cm.update(&z, &[0, 1, 1, 1]).unwrap();
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert!((cm.recall(1).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        assert!((cm.precision(0).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(cm.precision(1), Some(1.0));
+    }
+
+    #[test]
+    fn unseen_class_has_no_recall() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.precision(2), None);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn validates_labels() {
+        let mut cm = ConfusionMatrix::new(2);
+        let z = logits(&[1.0, 0.0], 1, 2);
+        assert!(matches!(cm.update(&z, &[5]), Err(NnError::BadLabel { .. })));
+        assert!(matches!(cm.update(&z, &[0, 1]), Err(NnError::BatchMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let _ = ConfusionMatrix::new(0);
+    }
+}

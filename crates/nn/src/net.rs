@@ -1,0 +1,257 @@
+//! The sequential network container.
+
+use mfdfp_tensor::Tensor;
+
+use crate::error::Result;
+use crate::layer::{Layer, Phase};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_nn::{Layer, Network, Phase};
+/// use mfdfp_nn::layers::{Linear, Relu};
+/// use mfdfp_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = Network::new("tiny");
+/// net.push(Layer::Linear(Linear::new("fc1", 4, 8, &mut rng)));
+/// net.push(Layer::Relu(Relu::new()));
+/// net.push(Layer::Linear(Linear::new("fc2", 8, 2, &mut rng)));
+///
+/// let x = rng.gaussian([3, 4], 0.0, 1.0);
+/// let logits = net.forward(&x, Phase::Eval)?;
+/// assert_eq!(logits.shape().dims(), &[3, 2]);
+/// # Ok::<(), mfdfp_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network { name: name.into(), layers: Vec::new() }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by the quantizer).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Full forward pass producing logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, phase)?;
+        }
+        Ok(cur)
+    }
+
+    /// Forward pass that also returns every intermediate activation
+    /// (`activations[0]` is the input, `activations[i+1]` the output of
+    /// layer `i`). Used by the quantization calibrator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_trace(&mut self, x: &Tensor, phase: Phase) -> Result<Vec<Tensor>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for layer in &mut self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"), phase)?;
+            acts.push(next);
+        }
+        Ok(acts)
+    }
+
+    /// Full backward pass from a logits gradient; accumulates parameter
+    /// gradients and returns the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visits every `(value, grad)` parameter pair in deterministic order
+    /// (layer order; weights before bias).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Copies every parameter *value* out of the network (used for shadow
+    /// weights). Order matches [`Network::visit_params`].
+    pub fn snapshot_params(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |v, _| out.push(v.clone()));
+        out
+    }
+
+    /// Writes parameter values back (inverse of
+    /// [`Network::snapshot_params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not match the network's parameter structure.
+    pub fn restore_params(&mut self, params: &[Tensor]) {
+        let mut i = 0;
+        self.visit_params(&mut |v, _| {
+            assert!(i < params.len(), "parameter snapshot too short");
+            assert_eq!(v.shape(), params[i].shape(), "parameter shape drift");
+            *v = params[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, params.len(), "parameter snapshot too long");
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!("network \"{}\" — {} params\n", self.name, self.param_count());
+        for layer in &self.layers {
+            s.push_str("  ");
+            s.push_str(&layer.describe());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use mfdfp_tensor::TensorRng;
+
+    fn tiny(rng: &mut TensorRng) -> Network {
+        let mut net = Network::new("tiny");
+        net.push(Layer::Linear(Linear::new("fc1", 4, 8, rng)));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Linear(Linear::new("fc2", 8, 2, rng)));
+        net
+    }
+
+    #[test]
+    fn forward_shapes_and_trace() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = tiny(&mut rng);
+        let x = rng.gaussian([3, 4], 0.0, 1.0);
+        let y = net.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 2]);
+        let trace = net.forward_trace(&x, Phase::Eval).unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].as_slice(), x.as_slice());
+        assert_eq!(trace[3].as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn param_snapshot_round_trip() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = tiny(&mut rng);
+        let snap = net.snapshot_params();
+        assert_eq!(snap.len(), 4); // two layers × (weights, bias)
+        let x = rng.gaussian([1, 4], 0.0, 1.0);
+        let before = net.forward(&x, Phase::Eval).unwrap();
+        // Perturb, then restore.
+        net.visit_params(&mut |v, _| v.scale(3.0));
+        let perturbed = net.forward(&x, Phase::Eval).unwrap();
+        assert_ne!(before.as_slice(), perturbed.as_slice());
+        net.restore_params(&snap);
+        let after = net.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn backward_produces_input_gradient() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = tiny(&mut rng);
+        let x = rng.gaussian([3, 4], 0.0, 1.0);
+        let y = net.forward(&x, Phase::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(gx.shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulation() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = tiny(&mut rng);
+        let x = rng.gaussian([3, 4], 0.0, 1.0);
+        let y = net.forward(&x, Phase::Train).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let mut nonzero = 0;
+        net.visit_params(&mut |_, g| nonzero += g.as_slice().iter().filter(|&&v| v != 0.0).count());
+        assert!(nonzero > 0);
+        net.zero_grads();
+        let mut sum = 0.0;
+        net.visit_params(&mut |_, g| sum += g.norm_sq());
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = tiny(&mut rng);
+        assert_eq!(net.param_count(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn summary_mentions_every_layer() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = tiny(&mut rng);
+        let s = net.summary();
+        assert!(s.contains("fc1"));
+        assert!(s.contains("relu"));
+        assert!(s.contains("fc2"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Stochastic gradient descent with momentum, weight decay and the paper's
+//! plateau learning-rate schedule.
+
+use mfdfp_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::net::Network;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Initial learning rate (paper Phase-2 fine-tuning starts at 1e-3).
+    pub learning_rate: f32,
+    /// Classical momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl SgdConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for non-positive learning rate or
+    /// out-of-range momentum.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.learning_rate > 0.0) {
+            return Err(NnError::BadConfig(format!(
+                "learning rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(NnError::BadConfig(format!(
+                "momentum must be in [0,1), got {}",
+                self.momentum
+            )));
+        }
+        if self.weight_decay < 0.0 {
+            return Err(NnError::BadConfig(format!(
+                "weight decay must be non-negative, got {}",
+                self.weight_decay
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SgdConfig {
+    /// Caffe cifar10-quick defaults: lr 1e-3, momentum 0.9, decay 4e-3.
+    fn default() -> Self {
+        SgdConfig { learning_rate: 1e-3, momentum: 0.9, weight_decay: 4e-3 }
+    }
+}
+
+/// SGD optimizer holding per-parameter velocity buffers.
+///
+/// Velocities are allocated lazily on the first step and keyed by the
+/// network's deterministic parameter visit order; using one optimizer
+/// across structurally different networks is a logic error (asserted).
+#[derive(Debug)]
+pub struct Sgd {
+    cfg: SgdConfig,
+    lr: f32,
+    velocity: Vec<Tensor>,
+    steps: u64,
+}
+
+impl Sgd {
+    /// Creates an optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the configuration is invalid.
+    pub fn new(cfg: SgdConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Sgd { lr: cfg.learning_rate, cfg, velocity: Vec::new(), steps: 0 })
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (used by schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of update steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Applies one SGD update to every parameter of `net` using the
+    /// gradients accumulated since the last [`Network::zero_grads`], then
+    /// zeroes them.
+    ///
+    /// Update rule: `v ← μ·v − lr·(g + wd·w)`, `w ← w + v`.
+    pub fn step(&mut self, net: &mut Network) {
+        let mut idx = 0usize;
+        let velocity = &mut self.velocity;
+        let (lr, mu, wd) = (self.lr, self.cfg.momentum, self.cfg.weight_decay);
+        net.visit_params(&mut |value, grad| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(value.shape().clone()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(
+                v.shape(),
+                value.shape(),
+                "optimizer reused across structurally different networks"
+            );
+            let vd = v.as_mut_slice();
+            let wdta = value.as_mut_slice();
+            let gd = grad.as_slice();
+            for i in 0..vd.len() {
+                vd[i] = mu * vd[i] - lr * (gd[i] + wd * wdta[i]);
+                wdta[i] += vd[i];
+            }
+            idx += 1;
+        });
+        net.zero_grads();
+        self.steps += 1;
+    }
+}
+
+/// Learning-rate schedule used by the paper: start at `initial`, divide by
+/// `factor` whenever the monitored loss stops improving for `patience`
+/// epochs, stop training when the rate drops below `min_lr`
+/// ("we decrease the rate by a factor of 10 when learning levels off and
+/// stop the training when the learning rate drops below 1e-07").
+#[derive(Debug, Clone)]
+pub struct PlateauSchedule {
+    factor: f32,
+    patience: usize,
+    min_lr: f32,
+    best: f32,
+    since_best: usize,
+    lr: f32,
+}
+
+impl PlateauSchedule {
+    /// Creates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for a factor outside (0,1), zero
+    /// patience, or a non-positive floor.
+    pub fn new(initial: f32, factor: f32, patience: usize, min_lr: f32) -> Result<Self> {
+        if !(initial > 0.0) || !(min_lr > 0.0) {
+            return Err(NnError::BadConfig("learning rates must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&factor) || factor == 0.0 {
+            return Err(NnError::BadConfig(format!("decay factor must be in (0,1), got {factor}")));
+        }
+        if patience == 0 {
+            return Err(NnError::BadConfig("patience must be at least 1".into()));
+        }
+        Ok(PlateauSchedule {
+            factor,
+            patience,
+            min_lr,
+            best: f32::INFINITY,
+            since_best: 0,
+            lr: initial,
+        })
+    }
+
+    /// The paper's protocol: ÷10 on plateau (patience 3), stop below 1e-7.
+    pub fn paper(initial: f32) -> Self {
+        PlateauSchedule::new(initial, 0.1, 3, 1e-7).expect("constants are valid")
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Records an end-of-epoch metric (validation loss or error rate —
+    /// anything lower-is-better). Returns the possibly-decayed rate.
+    pub fn observe(&mut self, metric: f32) -> f32 {
+        if metric < self.best - 1e-6 {
+            self.best = metric;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+            if self.since_best >= self.patience {
+                self.lr *= self.factor;
+                self.since_best = 0;
+            }
+        }
+        self.lr
+    }
+
+    /// Whether training should stop (rate fell through the floor).
+    pub fn finished(&self) -> bool {
+        self.lr < self.min_lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Phase};
+    use crate::layers::Linear;
+    use crate::loss::softmax_cross_entropy;
+    use mfdfp_tensor::TensorRng;
+
+    #[test]
+    fn config_validation() {
+        assert!(SgdConfig::default().validate().is_ok());
+        assert!(SgdConfig { learning_rate: 0.0, ..Default::default() }.validate().is_err());
+        assert!(SgdConfig { momentum: 1.0, ..Default::default() }.validate().is_err());
+        assert!(SgdConfig { weight_decay: -1.0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn sgd_descends_a_simple_loss() {
+        let mut rng = TensorRng::seed_from(11);
+        let mut net = Network::new("probe");
+        net.push(Layer::Linear(Linear::new("fc", 4, 2, &mut rng)));
+        let cfg = SgdConfig { learning_rate: 0.5, momentum: 0.9, weight_decay: 0.0 };
+        let mut sgd = Sgd::new(cfg).unwrap();
+        let x = rng.gaussian([8, 4], 0.0, 1.0);
+        let labels = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            let logits = net.forward(&x, Phase::Train).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            losses.push(loss);
+            net.backward(&grad).unwrap();
+            sgd.step(&mut net);
+        }
+        assert!(losses[29] < losses[0] * 0.8, "{} vs {}", losses[29], losses[0]);
+        assert_eq!(sgd.steps(), 30);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut net = Network::new("decay");
+        net.push(Layer::Linear(Linear::new("fc", 3, 3, &mut rng)));
+        let norm_before: f32 = {
+            let mut n = 0.0;
+            net.visit_params(&mut |v, _| n += v.norm_sq());
+            n
+        };
+        let cfg = SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5 };
+        let mut sgd = Sgd::new(cfg).unwrap();
+        // Gradients are zero (no backward) — only decay acts.
+        sgd.step(&mut net);
+        let mut norm_after = 0.0;
+        net.visit_params(&mut |v, _| norm_after += v.norm_sq());
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut net = Network::new("mom");
+        net.push(Layer::Linear(Linear::new("fc", 1, 1, &mut rng)));
+        // Force deterministic weights/gradients.
+        net.visit_params(&mut |v, _| *v = Tensor::zeros(v.shape().clone()));
+        let cfg = SgdConfig { learning_rate: 1.0, momentum: 0.5, weight_decay: 0.0 };
+        let mut sgd = Sgd::new(cfg).unwrap();
+        // Two steps with constant unit gradient: w = -(1) then -(1 + 1.5) = -2.5
+        for _ in 0..2 {
+            net.visit_params(&mut |_, g| {
+                g.map_in_place(|_| 1.0);
+            });
+            sgd.step(&mut net);
+        }
+        let mut w = Vec::new();
+        net.visit_params(&mut |v, _| w.extend_from_slice(v.as_slice()));
+        assert!((w[0] - (-2.5)).abs() < 1e-6, "weight {}", w[0]);
+    }
+
+    #[test]
+    fn plateau_schedule_decays_and_stops() {
+        let mut s = PlateauSchedule::new(1e-3, 0.1, 2, 1e-7).unwrap();
+        assert_eq!(s.observe(1.0), 1e-3); // new best
+        assert_eq!(s.observe(0.9), 1e-3); // new best
+        s.observe(0.95); // stall 1
+        let lr = s.observe(0.95); // stall 2 → decay
+        assert!((lr - 1e-4).abs() < 1e-10);
+        assert!(!s.finished());
+        for _ in 0..20 {
+            s.observe(1.0);
+        }
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn plateau_schedule_validation() {
+        assert!(PlateauSchedule::new(0.0, 0.1, 3, 1e-7).is_err());
+        assert!(PlateauSchedule::new(1e-3, 1.0, 3, 1e-7).is_err());
+        assert!(PlateauSchedule::new(1e-3, 0.1, 0, 1e-7).is_err());
+        assert!(PlateauSchedule::paper(1e-3).learning_rate() == 1e-3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the training framework: loss-gradient laws and
+//! network invariants that hold for arbitrary (finite) inputs.
+
+use mfdfp_nn::layers::{Linear, Relu};
+use mfdfp_nn::{
+    distillation_loss, softmax_cross_entropy, zoo, DistillConfig, DistillMode, Layer, Network,
+    Phase,
+};
+use mfdfp_tensor::{Shape, Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn logits_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, n * k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cross-entropy is non-negative and the gradient sums to zero per row
+    /// (softmax gradient lives on the simplex tangent space).
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(z in logits_strategy(3, 5), labels in proptest::collection::vec(0usize..5, 3)) {
+        let t = Tensor::from_vec(z, Shape::d2(3, 5)).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&t, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        for r in 0..3 {
+            let s: f32 = grad.as_slice()[r * 5..(r + 1) * 5].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    /// The loss is minimised (→ 0) by pushing the true logit up: loss at
+    /// boosted true logit ≤ original loss.
+    #[test]
+    fn ce_decreases_when_true_logit_grows(z in logits_strategy(1, 4), label in 0usize..4) {
+        let t = Tensor::from_vec(z.clone(), Shape::d2(1, 4)).unwrap();
+        let (l0, _) = softmax_cross_entropy(&t, &[label]).unwrap();
+        let mut boosted = z;
+        boosted[label] += 2.0;
+        let tb = Tensor::from_vec(boosted, Shape::d2(1, 4)).unwrap();
+        let (l1, _) = softmax_cross_entropy(&tb, &[label]).unwrap();
+        prop_assert!(l1 <= l0 + 1e-6);
+    }
+
+    /// Distillation loss reduces to plain CE at β = 0 for any temperature.
+    #[test]
+    fn distill_beta_zero_is_ce(
+        zs in logits_strategy(2, 3),
+        zt in logits_strategy(2, 3),
+        tau in 0.5f32..30.0,
+    ) {
+        let s = Tensor::from_vec(zs, Shape::d2(2, 3)).unwrap();
+        let t = Tensor::from_vec(zt, Shape::d2(2, 3)).unwrap();
+        let cfg = DistillConfig { temperature: tau, beta: 0.0, mode: DistillMode::Exact };
+        let (l1, g1) = distillation_loss(&s, &t, &[0, 2], &cfg).unwrap();
+        let (l2, g2) = softmax_cross_entropy(&s, &[0, 2]).unwrap();
+        prop_assert!((l1 - l2).abs() < 1e-6);
+        prop_assert_eq!(g1.as_slice(), g2.as_slice());
+    }
+
+    /// The soft term vanishes when student and teacher agree: the
+    /// distillation gradient equals the CE gradient.
+    #[test]
+    fn distill_gradient_vanishes_on_agreement(z in logits_strategy(2, 3), beta in 0.0f32..2.0) {
+        let s = Tensor::from_vec(z.clone(), Shape::d2(2, 3)).unwrap();
+        let t = Tensor::from_vec(z, Shape::d2(2, 3)).unwrap();
+        let cfg = DistillConfig { temperature: 4.0, beta, mode: DistillMode::Exact };
+        let (_, g) = distillation_loss(&s, &t, &[1, 0], &cfg).unwrap();
+        let (_, gce) = softmax_cross_entropy(&s, &[1, 0]).unwrap();
+        for (a, b) in g.as_slice().iter().zip(gce.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Forward passes are deterministic in eval mode: two runs agree.
+    #[test]
+    fn eval_forward_is_deterministic(seed in 0u64..500, x in logits_strategy(2, 8)) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = Network::new("det");
+        net.push(Layer::Linear(Linear::new("fc1", 8, 6, &mut rng)));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Linear(Linear::new("fc2", 6, 3, &mut rng)));
+        let t = Tensor::from_vec(x, Shape::d2(2, 8)).unwrap();
+        let y1 = net.forward(&t, Phase::Eval).unwrap();
+        let y2 = net.forward(&t, Phase::Eval).unwrap();
+        prop_assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+
+    /// Parameter snapshot/restore round-trips through arbitrary scaling.
+    #[test]
+    fn snapshot_restore_round_trip(seed in 0u64..500, scale in -3.0f32..3.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = Network::new("snap");
+        net.push(Layer::Linear(Linear::new("fc", 4, 4, &mut rng)));
+        let snap = net.snapshot_params();
+        net.visit_params(&mut |v, _| v.scale(scale));
+        net.restore_params(&snap);
+        let back = net.snapshot_params();
+        for (a, b) in snap.iter().zip(&back) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// ReLU networks are positively homogeneous in their final linear
+    /// layer: scaling its weights and bias scales the logits.
+    #[test]
+    fn final_layer_scaling_scales_logits(seed in 0u64..200, alpha in 0.1f32..3.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = Network::new("homog");
+        net.push(Layer::Linear(Linear::new("fc1", 5, 7, &mut rng)));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Linear(Linear::new("fc2", 7, 3, &mut rng)));
+        let x = rng.gaussian([2, 5], 0.0, 1.0);
+        let y1 = net.forward(&x, Phase::Eval).unwrap();
+        // Scale only the last layer's parameters.
+        let n_layers = net.len();
+        if let Layer::Linear(l) = &mut net.layers_mut()[n_layers - 1] {
+            l.weights_mut().scale(alpha);
+            l.bias_mut().scale(alpha);
+        }
+        let y2 = net.forward(&x, Phase::Eval).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3 * (1.0 + a.abs() * alpha.abs()));
+        }
+    }
+}
+
+/// Gradient check of a full small network against finite differences —
+/// deterministic (not proptest) because it is expensive.
+#[test]
+fn full_network_gradient_check() {
+    let mut rng = TensorRng::seed_from(11);
+    let mut net = zoo::quick_custom(1, 16, [2, 2, 2], 8, 3, &mut rng).unwrap();
+    let x = rng.gaussian([2, 1, 16, 16], 0.0, 1.0);
+    let labels = vec![0usize, 2];
+
+    let logits = net.forward(&x, Phase::Train).unwrap();
+    let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+    net.backward(&grad).unwrap();
+
+    // Collect analytic gradients.
+    let mut analytic = Vec::new();
+    net.visit_params(&mut |_, g| analytic.push(g.clone()));
+
+    // Check a scattering of coordinates per parameter tensor.
+    let eps = 1e-2;
+    let mut pi = 0usize;
+    let mut max_rel = 0.0f32;
+    let n_params = analytic.len();
+    for p in 0..n_params {
+        let len = analytic[p].len();
+        for idx in [0, len / 3, len - 1] {
+            // Perturb coordinate (p, idx).
+            let mut j = 0usize;
+            net.visit_params(&mut |v, _| {
+                if j == p {
+                    v.as_mut_slice()[idx] += eps;
+                }
+                j += 1;
+            });
+            let lp = loss_of(&mut net, &x, &labels);
+            let mut j = 0usize;
+            net.visit_params(&mut |v, _| {
+                if j == p {
+                    v.as_mut_slice()[idx] -= 2.0 * eps;
+                }
+                j += 1;
+            });
+            let lm = loss_of(&mut net, &x, &labels);
+            let mut j = 0usize;
+            net.visit_params(&mut |v, _| {
+                if j == p {
+                    v.as_mut_slice()[idx] += eps;
+                }
+                j += 1;
+            });
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[p].as_slice()[idx];
+            let rel = (numeric - a).abs() / (1.0 + numeric.abs().max(a.abs()));
+            max_rel = max_rel.max(rel);
+            assert!(
+                rel < 0.05,
+                "param {p} idx {idx}: numeric {numeric} vs analytic {a}"
+            );
+        }
+        pi += 1;
+    }
+    assert_eq!(pi, n_params);
+    assert!(max_rel < 0.05, "worst relative gradient error {max_rel}");
+}
+
+fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
+    let logits = net.forward(x, Phase::Eval).unwrap();
+    softmax_cross_entropy(&logits, labels).unwrap().0
+}

@@ -1,0 +1,93 @@
+//! Error type shared by fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape;
+
+/// Errors produced by tensor construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The supplied data length does not match the shape's element count.
+    DataLength {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A reshape changed the number of elements.
+    ReshapeLength {
+        /// Original shape.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// Convolution/pooling geometry does not produce a positive output size.
+    BadGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape element count {expected}")
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left} vs {right}")
+            }
+            TensorError::ReshapeLength { from, to } => {
+                write!(f, "cannot reshape {from} ({} elems) to {to} ({} elems)", from.len(), to.len())
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::BadGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience alias for tensor results.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::DataLength { expected: 4, actual: 3 };
+        assert_eq!(e.to_string(), "data length 3 does not match shape element count 4");
+        let e = TensorError::ShapeMismatch {
+            left: Shape::d2(2, 3),
+            right: Shape::d2(3, 2),
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

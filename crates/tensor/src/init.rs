@@ -1,0 +1,172 @@
+//! Seeded random tensor initialisation (Gaussian, Xavier, He, uniform).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Shape, Tensor};
+
+/// A deterministic tensor initialiser wrapping a seeded [`StdRng`].
+///
+/// Every experiment in this workspace is reproducible bit-for-bit; all
+/// randomness flows through explicit seeds.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_tensor::TensorRng;
+///
+/// let mut a = TensorRng::seed_from(42);
+/// let mut b = TensorRng::seed_from(42);
+/// assert_eq!(a.gaussian([4], 0.0, 1.0).as_slice(), b.gaussian([4], 0.0, 1.0).as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates an initialiser from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Standard normal sample via Box–Muller (avoids a rand_distr dep).
+    fn randn(&mut self) -> f32 {
+        let u = Uniform::new(f32::EPSILON, 1.0f32);
+        let u1 = u.sample(&mut self.rng);
+        let u2 = u.sample(&mut self.rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Tensor of i.i.d. Gaussian samples `N(mean, std²)`.
+    pub fn gaussian(&mut self, shape: impl Into<Shape>, mean: f32, std: f32) -> Tensor {
+        let shape = shape.into();
+        let len = shape.len();
+        let data = (0..len).map(|_| mean + std * self.randn()).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
+        assert!(lo < hi, "uniform range must satisfy lo < hi");
+        let shape = shape.into();
+        let len = shape.len();
+        let u = Uniform::new(lo, hi);
+        let data = (0..len).map(|_| u.sample(&mut self.rng)).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Xavier/Glorot uniform initialisation for a layer with the given
+    /// fan-in and fan-out: `U(±sqrt(6/(fan_in+fan_out)))`.
+    pub fn xavier(&mut self, shape: impl Into<Shape>, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(shape, -bound, bound)
+    }
+
+    /// He/Kaiming Gaussian initialisation (suits ReLU networks):
+    /// `N(0, 2/fan_in)`.
+    pub fn he(&mut self, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.gaussian(shape, 0.0, std)
+    }
+
+    /// A uniformly random `usize` below `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        Uniform::new(0, bound).sample(&mut self.rng)
+    }
+
+    /// A uniformly random boolean with probability `p` of `true`.
+    pub fn coin(&mut self, p: f32) -> bool {
+        Uniform::new(0.0f32, 1.0).sample(&mut self.rng) < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = Uniform::new(0, i + 1).sample(&mut self.rng);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        assert_eq!(a.gaussian([16], 0.0, 1.0).as_slice(), b.gaussian([16], 0.0, 1.0).as_slice());
+        assert_eq!(a.index(100), b.index(100));
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = TensorRng::seed_from(1);
+        let mut b = TensorRng::seed_from(2);
+        assert_ne!(a.gaussian([16], 0.0, 1.0).as_slice(), b.gaussian([16], 0.0, 1.0).as_slice());
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = TensorRng::seed_from(123);
+        let t = rng.gaussian([10_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = rng.uniform([1000], -0.25, 0.25);
+        assert!(t.max() < 0.25);
+        assert!(t.min() >= -0.25);
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fans() {
+        let mut rng = TensorRng::seed_from(5);
+        let wide = rng.xavier([1000], 10, 10);
+        let narrow = rng.xavier([1000], 1000, 1000);
+        assert!(wide.abs_max() > narrow.abs_max());
+    }
+
+    #[test]
+    fn he_std_scales_with_fan_in() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = rng.he([10_000], 50);
+        let std = t.norm_sq() / t.len() as f32;
+        assert!((std - 2.0 / 50.0).abs() < 0.01, "std² {std}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut rng = TensorRng::seed_from(11);
+        let heads = (0..10_000).filter(|_| rng.coin(0.3)).count();
+        assert!((heads as f32 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+}

@@ -1,0 +1,257 @@
+//! Dense matrix multiplication (GEMM) with optional operand transposes.
+
+use crate::error::{Result, TensorError};
+use crate::{Shape, Tensor};
+
+/// Whether a GEMM operand should be read transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Transpose {
+    /// Read the operand as stored.
+    #[default]
+    No,
+    /// Read the operand transposed.
+    Yes,
+}
+
+impl Transpose {
+    fn apply(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Transpose::No => (rows, cols),
+            Transpose::Yes => (cols, rows),
+        }
+    }
+}
+
+/// General matrix multiply: `C = A(op) × B(op)`.
+///
+/// `a` must be rank-2 of logical shape `m×k` after applying `ta`, and `b`
+/// rank-2 of logical shape `k×n` after applying `tb`. The result is `m×n`.
+///
+/// The kernel is a cache-friendly ikj loop (row-major accumulation); no
+/// blocking is needed at the sizes used in this workspace.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if either operand is not rank-2 or
+/// the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_tensor::{gemm, Shape, Tensor, Transpose};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2))?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], Shape::d2(2, 2))?;
+/// let c = gemm(&a, Transpose::No, &i, Transpose::No)?;
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// # Ok::<(), mfdfp_tensor::TensorError>(())
+/// ```
+pub fn gemm(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+            op: "gemm (rank-2 required)",
+        });
+    }
+    let (m, ka) = ta.apply(a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = tb.apply(b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+            op: "gemm (inner dimension)",
+        });
+    }
+    let k = ka;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            // C[i,j] += A[i,p] * B[p,j] — ikj order streams B rows.
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            // B stored n×k; C[i,j] = dot(Arow_i, Brow_j): both contiguous.
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // A stored k×m; C[i,j] += A[p,i] * B[p,j].
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut out[i * n..(i + 1) * n];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            // A stored k×m, B stored n×k.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += ad[p * m + i] * bd[j * k + p];
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(m, n))
+}
+
+/// Matrix–vector product `y = A x` for a rank-2 `a` and rank-1 `x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a` is not rank-2, `x` not
+/// rank-1, or the dimensions disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || x.shape().rank() != 1 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: x.shape().clone(),
+            op: "matvec (rank)",
+        });
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    if k != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: x.shape().clone(),
+            op: "matvec (inner dimension)",
+        });
+    }
+    let ad = a.as_slice();
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    Ok(Tensor::from_slice(&out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), Shape::d2(rows, cols)).unwrap()
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = t2(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let c = gemm(&a, Transpose::No, &i, Transpose::No).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn gemm_known_product() {
+        // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t2(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_rectangular() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 1, &[1.0, 1.0, 1.0]);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 1]);
+        assert_eq!(c.as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn all_transpose_combinations_agree() {
+        let a = t2(2, 3, &[1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = t2(3, 4, &[2.0, 0.0, 1.0, -1.0, 3.0, 5.0, -2.0, 0.5, 1.0, 1.0, 1.0, 1.0]);
+        let reference = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+
+        // Transpose the stored layouts manually and ask gemm to undo it.
+        let at = transpose(&a);
+        let bt = transpose(&b);
+        let c1 = gemm(&at, Transpose::Yes, &b, Transpose::No).unwrap();
+        let c2 = gemm(&a, Transpose::No, &bt, Transpose::Yes).unwrap();
+        let c3 = gemm(&at, Transpose::Yes, &bt, Transpose::Yes).unwrap();
+        for c in [c1, c2, c3] {
+            for (x, y) in c.as_slice().iter().zip(reference.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    fn transpose(t: &Tensor) -> Tensor {
+        let (r, c) = (t.shape().dim(0), t.shape().dim(1));
+        let mut out = Tensor::zeros([c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                *out.at_mut(&[j, i]) = t.at(&[i, j]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_shape_errors() {
+        let a = t2(2, 3, &[0.0; 6]);
+        let b = t2(2, 3, &[0.0; 6]);
+        assert!(gemm(&a, Transpose::No, &b, Transpose::No).is_err());
+        assert!(gemm(&a, Transpose::No, &b, Transpose::Yes).is_ok());
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(gemm(&a, Transpose::No, &v, Transpose::No).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_gemm() {
+        let a = t2(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[-1.0, -1.0, -1.0]);
+        let xm = x.reshape([2, 1]).unwrap();
+        let ym = gemm(&a, Transpose::No, &xm, Transpose::No).unwrap();
+        assert_eq!(y.as_slice(), ym.as_slice());
+    }
+
+    #[test]
+    fn matvec_shape_errors() {
+        let a = t2(2, 2, &[0.0; 4]);
+        let bad = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(matvec(&a, &bad).is_err());
+    }
+}

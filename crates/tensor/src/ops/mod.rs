@@ -1,0 +1,6 @@
+//! Tensor operations: GEMM, convolution, pooling, reductions.
+
+pub mod conv;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;

@@ -1,0 +1,263 @@
+//! Row-wise reductions and the softmax family used by classifier heads.
+
+use crate::error::{Result, TensorError};
+use crate::{Shape, Tensor};
+
+/// Numerically-stable softmax along the last axis of a rank-2 tensor.
+///
+/// Each row is shifted by its maximum before exponentiation, so arbitrarily
+/// large logits do not overflow.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_tensor::{softmax, Shape, Tensor};
+///
+/// let z = Tensor::from_vec(vec![0.0, 0.0], Shape::d2(1, 2))?;
+/// let p = softmax(&z)?;
+/// assert!((p.as_slice()[0] - 0.5).abs() < 1e-6);
+/// # Ok::<(), mfdfp_tensor::TensorError>(())
+/// ```
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    softmax_with_temperature(logits, 1.0)
+}
+
+/// Softmax with a distillation temperature `tau`: `softmax(z / tau)`.
+///
+/// Temperatures above 1 soften the distribution — the mechanism behind
+/// student–teacher training (Hinton et al.; used by the paper with τ = 20).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2, or
+/// [`TensorError::BadGeometry`] if `tau` is not strictly positive.
+pub fn softmax_with_temperature(logits: &Tensor, tau: f32) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: logits.shape().clone(),
+            right: Shape::d2(0, 0),
+            op: "softmax (rank-2 required)",
+        });
+    }
+    if !(tau > 0.0) {
+        return Err(TensorError::BadGeometry(format!("softmax temperature must be > 0, got {tau}")));
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    let z = logits.as_slice();
+    let mut out = vec![0.0f32; n * k];
+    for r in 0..n {
+        let row = &z[r * k..(r + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &v) in out[r * k..(r + 1) * k].iter_mut().zip(row) {
+            let e = ((v - m) / tau).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * k..(r + 1) * k] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(n, k))
+}
+
+/// Log-softmax along the last axis of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2.
+pub fn log_softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: logits.shape().clone(),
+            right: Shape::d2(0, 0),
+            op: "log_softmax (rank-2 required)",
+        });
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    let z = logits.as_slice();
+    let mut out = vec![0.0f32; n * k];
+    for r in 0..n {
+        let row = &z[r * k..(r + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+        for (o, &v) in out[r * k..(r + 1) * k].iter_mut().zip(row) {
+            *o = v - lse;
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(n, k))
+}
+
+/// Per-row argmax of a rank-2 tensor: the predicted class per sample.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `t` is not rank-2.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: t.shape().clone(),
+            right: Shape::d2(0, 0),
+            op: "argmax_rows (rank-2 required)",
+        });
+    }
+    let (n, k) = (t.shape().dim(0), t.shape().dim(1));
+    let d = t.as_slice();
+    let mut out = Vec::with_capacity(n);
+    for r in 0..n {
+        let row = &d[r * k..(r + 1) * k];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Indices of the `k` largest entries per row, descending.
+///
+/// Used for ImageNet-style top-5 accuracy. `k` is clamped to the row width.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `t` is not rank-2.
+pub fn topk_rows(t: &Tensor, k: usize) -> Result<Vec<Vec<usize>>> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: t.shape().clone(),
+            right: Shape::d2(0, 0),
+            op: "topk_rows (rank-2 required)",
+        });
+    }
+    let (n, width) = (t.shape().dim(0), t.shape().dim(1));
+    let k = k.min(width);
+    let d = t.as_slice();
+    let mut out = Vec::with_capacity(n);
+    for r in 0..n {
+        let row = &d[r * width..(r + 1) * width];
+        let mut idx: Vec<usize> = (0..width).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        out.push(idx);
+    }
+    Ok(out)
+}
+
+/// Sums a rank-2 tensor along axis 0, producing a row vector.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `t` is not rank-2.
+pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: t.shape().clone(),
+            right: Shape::d2(0, 0),
+            op: "sum_axis0 (rank-2 required)",
+        });
+    }
+    let (n, k) = (t.shape().dim(0), t.shape().dim(1));
+    let d = t.as_slice();
+    let mut out = vec![0.0f32; k];
+    for r in 0..n {
+        for (o, &v) in out.iter_mut().zip(&d[r * k..(r + 1) * k]) {
+            *o += v;
+        }
+    }
+    Ok(Tensor::from_slice(&out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let z = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], Shape::d2(2, 3)).unwrap();
+        let p = softmax(&z).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let z1 = Tensor::from_vec(vec![1.0, 2.0], Shape::d2(1, 2)).unwrap();
+        let z2 = Tensor::from_vec(vec![1001.0, 1002.0], Shape::d2(1, 2)).unwrap();
+        let p1 = softmax(&z1).unwrap();
+        let p2 = softmax(&z2).unwrap();
+        for (a, b) in p1.as_slice().iter().zip(p2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+            assert!(a.is_finite());
+        }
+    }
+
+    #[test]
+    fn temperature_softens_distribution() {
+        let z = Tensor::from_vec(vec![0.0, 4.0], Shape::d2(1, 2)).unwrap();
+        let sharp = softmax_with_temperature(&z, 1.0).unwrap();
+        let soft = softmax_with_temperature(&z, 20.0).unwrap();
+        // High temperature pushes probabilities toward uniform.
+        assert!(soft.as_slice()[0] > sharp.as_slice()[0]);
+        assert!((soft.as_slice()[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn temperature_must_be_positive() {
+        let z = Tensor::from_vec(vec![0.0, 1.0], Shape::d2(1, 2)).unwrap();
+        assert!(softmax_with_temperature(&z, 0.0).is_err());
+        assert!(softmax_with_temperature(&z, -1.0).is_err());
+        assert!(softmax_with_temperature(&z, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let z = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0], Shape::d2(2, 2)).unwrap();
+        let ls = log_softmax(&z).unwrap();
+        let p = softmax(&z).unwrap();
+        for (a, b) in ls.as_slice().iter().zip(p.as_slice()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.3, 0.1], Shape::d2(2, 3)).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn topk_returns_descending_indices() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.7], Shape::d2(1, 4)).unwrap();
+        let tk = topk_rows(&t, 3).unwrap();
+        assert_eq!(tk[0], vec![1, 3, 2]);
+        // k clamps to width
+        let tk = topk_rows(&t, 10).unwrap();
+        assert_eq!(tk[0].len(), 4);
+    }
+
+    #[test]
+    fn sum_axis0_accumulates_rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        let s = sum_axis0(&t).unwrap();
+        assert_eq!(s.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(softmax(&t).is_err());
+        assert!(log_softmax(&t).is_err());
+        assert!(argmax_rows(&t).is_err());
+        assert!(topk_rows(&t, 1).is_err());
+        assert!(sum_axis0(&t).is_err());
+    }
+}

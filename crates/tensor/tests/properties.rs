@@ -1,0 +1,172 @@
+//! Property-based tests of the tensor algebra: the linear-operator laws
+//! backprop silently assumes.
+
+use mfdfp_tensor::{
+    col2im, conv2d_backward, conv2d_forward, gemm, im2col, pool_backward, pool_forward,
+    softmax, ConvGeometry, PoolGeometry, PoolKind, Shape, Tensor, Transpose,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM is linear in its left operand: (A + B)C = AC + BC.
+    #[test]
+    fn gemm_left_linearity(
+        a in tensor_strategy(6),
+        b in tensor_strategy(6),
+        c in tensor_strategy(8),
+    ) {
+        let ta = Tensor::from_vec(a, Shape::d2(3, 2)).unwrap();
+        let tb = Tensor::from_vec(b, Shape::d2(3, 2)).unwrap();
+        let tc = Tensor::from_vec(c, Shape::d2(2, 4)).unwrap();
+        let lhs = gemm(&(&ta + &tb), Transpose::No, &tc, Transpose::No).unwrap();
+        let rhs = &gemm(&ta, Transpose::No, &tc, Transpose::No).unwrap()
+            + &gemm(&tb, Transpose::No, &tc, Transpose::No).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ, expressed through the transpose flags.
+    #[test]
+    fn gemm_transpose_identity(a in tensor_strategy(6), b in tensor_strategy(12)) {
+        let ta = Tensor::from_vec(a, Shape::d2(2, 3)).unwrap();
+        let tb = Tensor::from_vec(b, Shape::d2(3, 4)).unwrap();
+        let ab = gemm(&ta, Transpose::No, &tb, Transpose::No).unwrap(); // 2×4
+        // Bᵀ Aᵀ computed as gemm(b, T, a, T) = 4×2.
+        let btat = gemm(&tb, Transpose::Yes, &ta, Transpose::Yes).unwrap();
+        for i in 0..2 {
+            for j in 0..4 {
+                prop_assert!((ab.at(&[i, j]) - btat.at(&[j, i])).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// im2col/col2im are adjoint: ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩.
+    #[test]
+    fn conv_operators_are_adjoint(
+        x in tensor_strategy(2 * 6 * 6),
+        seed in 0u64..1000,
+    ) {
+        let g = ConvGeometry::new(2, 6, 6, 3, 3, 1, 1).unwrap();
+        let tx = Tensor::from_vec(x, Shape::new(vec![2, 6, 6])).unwrap();
+        let ylen = g.col_height() * g.col_width();
+        let y: Vec<f32> = (0..ylen).map(|i| (((i as u64 + seed) * 2654435761) % 997) as f32 / 499.0 - 1.0).collect();
+        let ty = Tensor::from_vec(y, Shape::d2(g.col_height(), g.col_width())).unwrap();
+        let lhs = im2col(&tx, &g).unwrap().dot(&ty).unwrap();
+        let rhs = tx.dot(&col2im(&ty, &g).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Convolution is linear in the input:
+    /// conv(x1 + x2) = conv(x1) + conv(x2) − bias (bias counted once).
+    #[test]
+    fn conv_input_linearity(
+        x1 in tensor_strategy(1 * 2 * 5 * 5),
+        x2 in tensor_strategy(1 * 2 * 5 * 5),
+        w in tensor_strategy(3 * 2 * 9),
+    ) {
+        let g = ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let tw = Tensor::from_vec(w, Shape::nchw(3, 2, 3, 3)).unwrap();
+        let b = Tensor::zeros([3]);
+        let t1 = Tensor::from_vec(x1, Shape::nchw(1, 2, 5, 5)).unwrap();
+        let t2 = Tensor::from_vec(x2, Shape::nchw(1, 2, 5, 5)).unwrap();
+        let lhs = conv2d_forward(&(&t1 + &t2), &tw, &b, &g).unwrap();
+        let rhs = &conv2d_forward(&t1, &tw, &b, &g).unwrap()
+            + &conv2d_forward(&t2, &tw, &b, &g).unwrap();
+        for (a, c) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - c).abs() < 1e-3);
+        }
+    }
+
+    /// The conv backward operator is the adjoint of forward:
+    /// ⟨conv(x), g⟩ = ⟨x, backward_input(g)⟩ for zero bias.
+    #[test]
+    fn conv_backward_is_adjoint(
+        x in tensor_strategy(1 * 2 * 5 * 5),
+        w in tensor_strategy(2 * 2 * 9),
+        go in tensor_strategy(1 * 2 * 5 * 5),
+    ) {
+        let g = ConvGeometry::new(2, 5, 5, 2, 3, 1, 1).unwrap();
+        let tx = Tensor::from_vec(x, Shape::nchw(1, 2, 5, 5)).unwrap();
+        let tw = Tensor::from_vec(w, Shape::nchw(2, 2, 3, 3)).unwrap();
+        let b = Tensor::zeros([2]);
+        let tgo = Tensor::from_vec(go, Shape::nchw(1, 2, 5, 5)).unwrap();
+        let y = conv2d_forward(&tx, &tw, &b, &g).unwrap();
+        let (gx, _, _) = conv2d_backward(&tx, &tw, &tgo, &g).unwrap();
+        let lhs = y.dot(&tgo).unwrap();
+        let rhs = tx.dot(&gx).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Max pooling is monotone: pointwise larger inputs give pointwise
+    /// larger outputs.
+    #[test]
+    fn max_pool_monotone(x in tensor_strategy(1 * 1 * 6 * 6), bump in 0.0f32..1.0) {
+        let g = PoolGeometry::new(1, 6, 6, 2, 2).unwrap();
+        let tx = Tensor::from_vec(x.clone(), Shape::nchw(1, 1, 6, 6)).unwrap();
+        let bigger = tx.map(|v| v + bump);
+        let (y1, _) = pool_forward(&tx, PoolKind::Max, &g).unwrap();
+        let (y2, _) = pool_forward(&bigger, PoolKind::Max, &g).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Average pooling preserves the mean exactly when windows tile the
+    /// input perfectly.
+    #[test]
+    fn avg_pool_preserves_mean(x in tensor_strategy(1 * 2 * 4 * 4)) {
+        let g = PoolGeometry::new(2, 4, 4, 2, 2).unwrap();
+        let tx = Tensor::from_vec(x, Shape::nchw(1, 2, 4, 4)).unwrap();
+        let (y, _) = pool_forward(&tx, PoolKind::Avg, &g).unwrap();
+        prop_assert!((y.mean() - tx.mean()).abs() < 1e-5);
+    }
+
+    /// Pool backward conserves gradient mass for avg pooling.
+    #[test]
+    fn avg_pool_backward_conserves_mass(go in tensor_strategy(1 * 1 * 2 * 2)) {
+        let g = PoolGeometry::new(1, 4, 4, 2, 2).unwrap();
+        let tgo = Tensor::from_vec(go, Shape::nchw(1, 1, 2, 2)).unwrap();
+        let gi = pool_backward(&tgo, PoolKind::Avg, &[], &g).unwrap();
+        prop_assert!((gi.sum() - tgo.sum()).abs() < 1e-5);
+    }
+
+    /// Softmax outputs a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_distribution(z in tensor_strategy(12)) {
+        let tz = Tensor::from_vec(z, Shape::d2(3, 4)).unwrap();
+        let p = softmax(&tz).unwrap();
+        for r in 0..3 {
+            let row = &p.as_slice()[r * 4..(r + 1) * 4];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Reshape round-trips and never changes the flat data.
+    #[test]
+    fn reshape_preserves_flat_data(x in tensor_strategy(24)) {
+        let t = Tensor::from_vec(x.clone(), Shape::new(vec![2, 3, 4])).unwrap();
+        let r = t.reshape([4, 6]).unwrap().reshape([24]).unwrap();
+        prop_assert_eq!(r.as_slice(), &x[..]);
+    }
+
+    /// axpy(α, x) then axpy(−α, x) is the identity (up to float error).
+    #[test]
+    fn axpy_inverse(x in tensor_strategy(16), y in tensor_strategy(16), alpha in -4.0f32..4.0) {
+        let tx = Tensor::from_slice(&x);
+        let mut ty = Tensor::from_slice(&y);
+        ty.axpy(alpha, &tx).unwrap();
+        ty.axpy(-alpha, &tx).unwrap();
+        for (a, b) in ty.as_slice().iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Accelerator design-space walk: how area, power and latency move as the
+//! processing-unit organisation changes — the exploration the paper
+//! declares out of scope ("an architectural design space exploration …
+//! is out of the scope of this work") but that the model supports.
+//!
+//! ```text
+//! cargo run --example accelerator_explore --release
+//! ```
+
+use mfdfp::accel::{
+    design_metrics, schedule_network, AcceleratorConfig, ComponentLibrary, DmaModel, Precision,
+    RunReport,
+};
+use mfdfp::nn::zoo;
+use mfdfp::tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = TensorRng::seed_from(0);
+    let net = zoo::cifar10_full(10, &mut rng)?;
+    let lib = ComponentLibrary::calibrated_65nm();
+
+    println!("design space: synapses × neurons per PU (MF-DFP, cifar10-full)\n");
+    println!(
+        "{:<18} {:>10} {:>11} {:>11} {:>12} {:>14}",
+        "organisation", "lanes", "area (mm2)", "power (mW)", "time (us)", "energy (uJ)"
+    );
+    println!("{}", "-".repeat(80));
+    for (neurons, synapses) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+        let cfg = AcceleratorConfig {
+            neurons,
+            synapses,
+            ..AcceleratorConfig::paper_mf_dfp()
+        };
+        let design = design_metrics(&cfg, &lib)?;
+        let run = RunReport::from_schedule(
+            &schedule_network(&net, &cfg, DmaModel::Overlapped)?,
+            &design,
+        );
+        let marker = if neurons == 16 && synapses == 16 { "  <- paper" } else { "" };
+        println!(
+            "{:<18} {:>10} {:>11.2} {:>11.2} {:>12.2} {:>14.2}{marker}",
+            format!("{neurons}n × {synapses}s"),
+            cfg.lanes_per_pu(),
+            design.area_mm2,
+            design.power_mw,
+            run.time_us,
+            run.energy_uj
+        );
+    }
+
+    println!("\nmemory-bandwidth sensitivity (the effect the paper excludes):\n");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "DMA model", "FP32 time (us)", "MF-DFP time (us)"
+    );
+    println!("{}", "-".repeat(58));
+    let fp_cfg = AcceleratorConfig::paper_fp32();
+    let mf_cfg = AcceleratorConfig::paper_mf_dfp();
+    for (name, dma) in [
+        ("overlapped (paper)", DmaModel::Overlapped),
+        ("128 B/cycle", DmaModel::Limited { bytes_per_cycle: 128.0 }),
+        ("32 B/cycle", DmaModel::Limited { bytes_per_cycle: 32.0 }),
+        ("8 B/cycle", DmaModel::Limited { bytes_per_cycle: 8.0 }),
+    ] {
+        let fp = schedule_network(&net, &fp_cfg, dma)?;
+        let mf = schedule_network(&net, &mf_cfg, dma)?;
+        println!("{:<26} {:>14.2} {:>14.2}", name, fp.time_us, mf.time_us);
+    }
+    println!("\n4-bit weights keep the MF-DFP design compute-bound far longer than 32-bit ones.");
+
+    println!("\nprecision sweep at the paper organisation (area/power only):\n");
+    for precision in [Precision::Fp32, Precision::MfDfp] {
+        let cfg = AcceleratorConfig { precision, ..AcceleratorConfig::paper_mf_dfp() };
+        let d = design_metrics(&cfg, &lib)?;
+        println!("  {:?}: {:.2} mm2, {:.2} mW", precision, d.area_mm2, d.power_mw);
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Quickstart: float train → quantize → compare, in under a minute.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Walks the whole MF-DFP story on a small synthetic problem:
+//! 1. train a float CNN,
+//! 2. calibrate per-layer dynamic fixed-point formats,
+//! 3. run Algorithm 1 (shadow-weight fine-tuning + distillation),
+//! 4. deploy the integer-only network and check accuracy,
+//! 5. report the accelerator-level energy win.
+
+use mfdfp::accel::{
+    design_metrics, schedule_network, AcceleratorConfig, ComponentLibrary, DmaModel, RunReport,
+};
+use mfdfp::core::{run_pipeline, PipelineConfig};
+use mfdfp::data::{Batcher, Split, SynthSpec};
+use mfdfp::nn::{evaluate, train_epoch, zoo, Sgd, SgdConfig};
+use mfdfp::tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. A small synthetic classification problem ────────────────────
+    let spec = SynthSpec {
+        classes: 6,
+        channels: 3,
+        size: 16,
+        per_class: 40,
+        noise: 0.4,
+        max_shift: 2,
+        seed: 2024,
+    };
+    let split = Split::generate(&spec, 12);
+    println!("dataset: {} train / {} test samples, {} classes", split.train.len(), split.test.len(), spec.classes);
+
+    // ── 2. Train the floating-point network ────────────────────────────
+    let mut rng = TensorRng::seed_from(1);
+    let mut float_net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 6, &mut rng)?;
+    println!("\n{}", float_net.summary());
+    let mut sgd = Sgd::new(SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 1e-4 })?;
+    for epoch in 0..8 {
+        let batches: Vec<_> = Batcher::new(&split.train, 32).shuffled(epoch).collect();
+        let stats = train_epoch(&mut float_net, &mut sgd, batches)?;
+        println!("float epoch {epoch}: loss {:.3} acc {:.1}%", stats.mean_loss, stats.accuracy * 100.0);
+    }
+    let test: Vec<_> = Batcher::new(&split.test, 32).iter().collect();
+    let float_acc = evaluate(&mut float_net, test, 1)?.top1();
+    println!("float test accuracy: {:.2}%", float_acc * 100.0);
+
+    // ── 3+4. Algorithm 1: quantize + fine-tune + deploy ────────────────
+    let cfg = PipelineConfig {
+        phase1_epochs: 5,
+        phase2_epochs: 3,
+        learning_rate: 4e-3,
+        batch_size: 32,
+        eval_k: 1,
+        ..PipelineConfig::paper_defaults()
+    };
+    let outcome = run_pipeline(float_net, &split.train, &split.test, &cfg)?;
+    println!("\nfine-tuning trajectory (top-1 error on test):");
+    for p in &outcome.history {
+        println!("  {:?} epoch {:>2}: loss {:.3}  err {:.3}  lr {:.1e}", p.phase, p.epoch, p.train_loss, p.test_error, p.learning_rate);
+    }
+    println!(
+        "\ndeployed MF-DFP accuracy (integer-only inference): {:.2}% (float was {:.2}%)",
+        outcome.final_top1 * 100.0,
+        float_acc * 100.0
+    );
+    println!(
+        "deployed model size: {} bytes (float: {} bytes) — {:.1}x smaller",
+        outcome.qnet.memory_bytes(),
+        outcome.master.param_count() * 4,
+        (outcome.master.param_count() * 4) as f64 / outcome.qnet.memory_bytes() as f64
+    );
+
+    // ── 5. Hardware story ───────────────────────────────────────────────
+    let lib = ComponentLibrary::calibrated_65nm();
+    let fp_cfg = AcceleratorConfig::paper_fp32();
+    let mf_cfg = AcceleratorConfig::paper_mf_dfp();
+    let fp = RunReport::from_schedule(
+        &schedule_network(&outcome.master, &fp_cfg, DmaModel::Overlapped)?,
+        &design_metrics(&fp_cfg, &lib)?,
+    );
+    let mf = RunReport::from_schedule(
+        &schedule_network(&outcome.master, &mf_cfg, DmaModel::Overlapped)?,
+        &design_metrics(&mf_cfg, &lib)?,
+    );
+    println!("\naccelerator (this topology, one inference):");
+    println!("  FP32:   {:>8.2} us  {:>8.2} uJ", fp.time_us, fp.energy_uj);
+    println!(
+        "  MF-DFP: {:>8.2} us  {:>8.2} uJ  → {:.1}% energy saving",
+        mf.time_us,
+        mf.energy_uj,
+        mf.energy_saving_vs(&fp)
+    );
+    Ok(())
+}
