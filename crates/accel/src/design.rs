@@ -107,8 +107,11 @@ impl AcceleratorConfig {
         if self.nbin_entries == 0 || self.sb_entries == 0 || self.nbout_entries == 0 {
             return Err(AccelError::BadConfig("buffer entry counts must be positive".into()));
         }
-        if !(self.clock_mhz > 0.0) {
-            return Err(AccelError::BadConfig(format!("clock must be positive, got {} MHz", self.clock_mhz)));
+        if self.clock_mhz <= 0.0 || self.clock_mhz.is_nan() {
+            return Err(AccelError::BadConfig(format!(
+                "clock must be positive, got {} MHz",
+                self.clock_mhz
+            )));
         }
         Ok(())
     }
@@ -249,7 +252,11 @@ pub fn design_metrics(cfg: &AcceleratorConfig, lib: &ComponentLibrary) -> Result
     });
 
     // Control + DMA + memory interface is shared across PUs.
-    breakdown.push(BreakdownLine { component: "control & DMA".into(), count: 1, cost: lib.control });
+    breakdown.push(BreakdownLine {
+        component: "control & DMA".into(),
+        count: 1,
+        cost: lib.control,
+    });
 
     let total = breakdown.iter().fold(AreaPower::default(), |acc, line| acc.plus(line.cost));
     Ok(DesignMetrics { area_mm2: total.area_mm2(), power_mw: total.power_mw, breakdown })

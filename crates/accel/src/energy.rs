@@ -40,8 +40,8 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design::{design_metrics, AcceleratorConfig};
     use crate::components::ComponentLibrary;
+    use crate::design::{design_metrics, AcceleratorConfig};
     use crate::schedule::{schedule_network, DmaModel};
     use mfdfp_nn::zoo;
     use mfdfp_tensor::TensorRng;

@@ -47,9 +47,7 @@ pub mod qlayers;
 mod schedule;
 
 pub use components::{AreaPower, ComponentLibrary};
-pub use design::{
-    design_metrics, AcceleratorConfig, BreakdownLine, DesignMetrics, Precision,
-};
+pub use design::{design_metrics, AcceleratorConfig, BreakdownLine, DesignMetrics, Precision};
 pub use energy::RunReport;
 pub use error::{AccelError, Result};
 pub use qlayers::{

@@ -88,8 +88,7 @@ impl ShiftConv {
                                 {
                                     0
                                 } else {
-                                    input[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
-                                        as i32
+                                    input[(c * g.in_h + iy as usize) * g.in_w + ix as usize] as i32
                                 };
                                 si += 1;
                             }
@@ -261,8 +260,8 @@ fn pool_codes(
         return Err(AccelError::BadConfig("pool window/stride must be positive".into()));
     }
     // Ceil-mode output size, matching the float framework.
-    let oh = (in_h - window.min(in_h) + stride - 1) / stride + 1;
-    let ow = (in_w - window.min(in_w) + stride - 1) / stride + 1;
+    let oh = (in_h - window.min(in_h)).div_ceil(stride) + 1;
+    let ow = (in_w - window.min(in_w)).div_ceil(stride) + 1;
     let mut out = vec![0i8; channels * oh * ow];
     for c in 0..channels {
         for oy in 0..oh {
@@ -425,10 +424,7 @@ mod tests {
     fn grouped_shift_conv_blocks_cross_group_paths() {
         // 2 input channels, 2 output channels, 2 groups, 1×1 kernels of
         // weight 1: output c equals input c exactly — no cross-talk.
-        let geom = ConvGeometry::new(2, 2, 2, 2, 1, 1, 0)
-            .unwrap()
-            .with_groups(2)
-            .unwrap();
+        let geom = ConvGeometry::new(2, 2, 2, 2, 1, 1, 0).unwrap().with_groups(2).unwrap();
         let layer = ShiftConv {
             geom,
             weights: vec![Pow2Weight::from_f32(1.0); 2],

@@ -31,9 +31,10 @@ pub const PIPELINE_DEPTH_FP32: u64 = 10;
 pub const PIPELINE_DEPTH_MFDFP: u64 = 6;
 
 /// Main-memory DMA model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DmaModel {
     /// Transfers fully overlap with compute (the paper's methodology).
+    #[default]
     Overlapped,
     /// Transfers limited to `bytes_per_cycle`; per-layer cycles become
     /// `max(compute, dma)`. Used by the ablation bench only.
@@ -41,12 +42,6 @@ pub enum DmaModel {
         /// Sustained DMA bandwidth in bytes per cycle.
         bytes_per_cycle: f64,
     },
-}
-
-impl Default for DmaModel {
-    fn default() -> Self {
-        DmaModel::Overlapped
-    }
 }
 
 /// Cycle accounting for one layer.
@@ -109,8 +104,8 @@ pub fn schedule_network(
                 let groups = div_ceil(out_neurons, cfg.neurons);
                 let chunks = div_ceil(g.col_height(), cfg.synapses);
                 let weight_bytes = g.weight_count() as f64 * w_bits as f64 / 8.0;
-                let io_bytes = (g.in_c * g.in_h * g.in_w + out_neurons) as f64 * act_bits as f64
-                    / 8.0;
+                let io_bytes =
+                    (g.in_c * g.in_h * g.in_w + out_neurons) as f64 * act_bits as f64 / 8.0;
                 ((groups * chunks) as u64, weight_bytes + io_bytes)
             }
             Layer::Linear(l) => {
@@ -118,8 +113,7 @@ pub fn schedule_network(
                 let chunks = div_ceil(l.in_features(), cfg.synapses);
                 let weight_bytes =
                     (l.in_features() * l.out_features()) as f64 * w_bits as f64 / 8.0;
-                let io_bytes =
-                    (l.in_features() + l.out_features()) as f64 * act_bits as f64 / 8.0;
+                let io_bytes = (l.in_features() + l.out_features()) as f64 * act_bits as f64 / 8.0;
                 ((groups * chunks) as u64, weight_bytes + io_bytes)
             }
             Layer::Pool(p) => {
@@ -143,8 +137,7 @@ pub fn schedule_network(
             | Layer::FakeQuant(_) => (0, 0.0),
             Layer::Lrn(_) => {
                 return Err(AccelError::UnsupportedLayer(
-                    "LRN is not multiplier-free; the paper removes it from the benchmarks"
-                        .into(),
+                    "LRN is not multiplier-free; the paper removes it from the benchmarks".into(),
                 ))
             }
         };
@@ -195,13 +188,13 @@ mod tests {
     fn cifar_cycle_count_is_in_paper_ballpark() {
         // Paper: 246.52 µs at 250 MHz ⇒ ~61.6K cycles. The pure-compute
         // model lands in the tens of thousands — same order, same story.
-        let s = schedule_network(&cifar_net(), &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
-            .unwrap();
-        assert!(
-            (30_000..150_000).contains(&s.total_cycles),
-            "cycles {}",
-            s.total_cycles
-        );
+        let s = schedule_network(
+            &cifar_net(),
+            &AcceleratorConfig::paper_mf_dfp(),
+            DmaModel::Overlapped,
+        )
+        .unwrap();
+        assert!((30_000..150_000).contains(&s.total_cycles), "cycles {}", s.total_cycles);
         let time = s.time_us;
         assert!((100.0..400.0).contains(&time), "time {time} µs");
     }
@@ -211,8 +204,8 @@ mod tests {
         // Table 2: 246.52 vs 246.27 µs — the same schedule, differing only
         // in pipeline depth.
         let net = cifar_net();
-        let fp = schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped)
-            .unwrap();
+        let fp =
+            schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped).unwrap();
         let mf = schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
             .unwrap();
         assert!(fp.total_cycles > mf.total_cycles, "FP pipeline is deeper");
@@ -224,8 +217,12 @@ mod tests {
     fn conv_tiling_matches_hand_count() {
         // conv1 of cifar10-quick: 32×32×32 = 32768 neurons → 2048 groups;
         // 75 synapses → 5 chunks ⇒ 10240 cycles.
-        let s = schedule_network(&cifar_net(), &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
-            .unwrap();
+        let s = schedule_network(
+            &cifar_net(),
+            &AcceleratorConfig::paper_mf_dfp(),
+            DmaModel::Overlapped,
+        )
+        .unwrap();
         let conv1 = &s.layers[0];
         assert!(conv1.layer.contains("conv1"));
         assert_eq!(conv1.compute, 2048 * 5);
@@ -240,8 +237,7 @@ mod tests {
         let fp = schedule_network(&net, &AcceleratorConfig::paper_fp32(), dma).unwrap();
         let mf = schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), dma).unwrap();
         let fp_free =
-            schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped)
-                .unwrap();
+            schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped).unwrap();
         let slowdown_fp = fp.total_cycles as f64 / fp_free.total_cycles as f64;
         assert!(fp.total_cycles > mf.total_cycles);
         assert!(slowdown_fp > 1.0);
@@ -263,17 +259,17 @@ mod tests {
         let net = zoo::alexnet(1000, false, &mut rng).unwrap();
         let s = schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
             .unwrap();
-        assert!(
-            (8_000.0..32_000.0).contains(&s.time_us),
-            "AlexNet time {} µs",
-            s.time_us
-        );
+        assert!((8_000.0..32_000.0).contains(&s.time_us), "AlexNet time {} µs", s.time_us);
     }
 
     #[test]
     fn schedule_totals_are_consistent() {
-        let s = schedule_network(&cifar_net(), &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
-            .unwrap();
+        let s = schedule_network(
+            &cifar_net(),
+            &AcceleratorConfig::paper_mf_dfp(),
+            DmaModel::Overlapped,
+        )
+        .unwrap();
         let sum: u64 = s.layers.iter().map(|l| l.total).sum();
         assert_eq!(sum, s.total_cycles);
         for l in &s.layers {

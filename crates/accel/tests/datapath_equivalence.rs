@@ -43,10 +43,8 @@ fn reference_conv(
                                 continue;
                             }
                             let x = input[(c * g.in_h + iy as usize) * g.in_w + ix as usize];
-                            let w =
-                                weights[(oc * group_in + ci) * k * k + ky * k + kx];
-                            acc += (x as f64) * 2f64.powi(-(in_frac as i32))
-                                * w.to_f32() as f64;
+                            let w = weights[(oc * group_in + ci) * k * k + ky * k + kx];
+                            acc += (x as f64) * 2f64.powi(-(in_frac as i32)) * w.to_f32() as f64;
                         }
                     }
                 }

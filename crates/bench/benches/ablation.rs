@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
     });
 
     let tree = AdderTree::new(16).expect("tree");
-    let products: Vec<i32> = (0..16).map(|i| (i * 991 - 8000) as i32).collect();
+    let products: Vec<i32> = (0..16).map(|i| i * 991 - 8000).collect();
     c.bench_function("adder_tree_audited_sum16", |b| {
         b.iter(|| black_box(tree.sum(black_box(&products)).expect("sum")))
     });

@@ -1,10 +1,82 @@
 //! Convolution throughput: float im2col+GEMM forward vs the bit-accurate
-//! integer shift datapath on the same geometry.
+//! integer shift datapath on the same geometry, plus serial-vs-parallel
+//! comparisons for the GEMM and batched-conv hot paths (build with
+//! `--features parallel` to exercise the threaded kernels).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mfdfp_accel::ShiftConv;
 use mfdfp_dfp::{AdderTree, Pow2Weight};
-use mfdfp_tensor::{conv2d_forward, ConvGeometry, Tensor, TensorRng};
+use mfdfp_tensor::{
+    conv2d_forward, conv2d_forward_serial, gemm, gemm_serial, ConvGeometry, Tensor, TensorRng,
+    Transpose,
+};
+
+/// The acceptance case for the parallel path: a 256×256×256 product.
+fn bench_gemm_256(c: &mut Criterion) {
+    let n = 256;
+    let mut rng = TensorRng::seed_from(7);
+    let a = rng.uniform([n, n], -1.0, 1.0);
+    let b = rng.uniform([n, n], -1.0, 1.0);
+
+    let mut group = c.benchmark_group("gemm_256");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+
+    group.bench_function("serial", |bch| {
+        bch.iter(|| {
+            black_box(gemm_serial(black_box(&a), Transpose::No, &b, Transpose::No).expect("gemm"))
+        })
+    });
+
+    // With `--features parallel` this dispatches to the row-parallel
+    // kernel; without it, it is the serial kernel again (baseline parity).
+    group.bench_function("dispatch", |bch| {
+        bch.iter(|| black_box(gemm(black_box(&a), Transpose::No, &b, Transpose::No).expect("gemm")))
+    });
+
+    #[cfg(feature = "parallel")]
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| {
+            black_box(
+                mfdfp_tensor::gemm_parallel(black_box(&a), Transpose::No, &b, Transpose::No)
+                    .expect("gemm"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+/// Batched conv forward: the batch-parallel path vs the serial loop.
+fn bench_conv_batch(c: &mut Criterion) {
+    let g = ConvGeometry::new(8, 16, 16, 16, 3, 1, 1).expect("geometry");
+    let batch = 16;
+    let mut rng = TensorRng::seed_from(11);
+    let x = rng.gaussian([batch, g.in_c, g.in_h, g.in_w], 0.0, 0.5);
+    let w = rng.he([g.out_c, g.in_c, g.kernel, g.kernel], g.col_height());
+    let bias = Tensor::zeros([g.out_c]);
+
+    let mut group = c.benchmark_group("conv_forward_batch16");
+    group.throughput(Throughput::Elements((batch * g.macs()) as u64));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(conv2d_forward_serial(black_box(&x), &w, &bias, &g).expect("conv")))
+    });
+
+    group.bench_function("dispatch", |b| {
+        b.iter(|| black_box(conv2d_forward(black_box(&x), &w, &bias, &g).expect("conv")))
+    });
+
+    #[cfg(feature = "parallel")]
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(
+                mfdfp_tensor::conv2d_forward_parallel(black_box(&x), &w, &bias, &g).expect("conv"),
+            )
+        })
+    });
+
+    group.finish();
+}
 
 fn bench(c: &mut Criterion) {
     // A mid-size layer: 16×16×16 input, 16 kernels of 5×5.
@@ -41,5 +113,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_gemm_256, bench_conv_batch);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mfdfp_dfp::Pow2Weight;
-use mfdfp_tensor::TensorRng;
+use mfdfp_tensor::{Tensor, TensorRng};
 
 const N: usize = 1 << 14;
 
@@ -47,6 +47,24 @@ fn bench(c: &mut Criterion) {
             let q: Vec<Pow2Weight> =
                 ws_f.iter().map(|&w| Pow2Weight::from_f32(black_box(w))).collect();
             black_box(q)
+        })
+    });
+
+    // The same MAC stream expressed as a 1×N·N×1 GEMM through the tensor
+    // kernel entry point (the path the network forward pass actually takes).
+    let row = Tensor::from_vec(xs_f.clone(), mfdfp_tensor::Shape::d2(1, N)).expect("row");
+    let col = Tensor::from_vec(ws_f.clone(), mfdfp_tensor::Shape::d2(N, 1)).expect("col");
+    group.bench_function("f32_gemm_kernel_mac", |b| {
+        b.iter(|| {
+            black_box(
+                mfdfp_tensor::gemm(
+                    black_box(&row),
+                    mfdfp_tensor::Transpose::No,
+                    &col,
+                    mfdfp_tensor::Transpose::No,
+                )
+                .expect("gemm"),
+            )
         })
     });
 

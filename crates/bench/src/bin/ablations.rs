@@ -108,7 +108,7 @@ fn ablation_uniform_format(float_net: &Network, plan: &QuantizationPlan, split: 
 }
 
 /// 3. Exponent clamp sweep (float-domain emulation; `e ≥ −7` is the 4-bit
-/// paper encoding, wider clamps would need 5 bits).
+///    paper encoding, wider clamps would need 5 bits).
 fn ablation_exponent_clamp(float_net: &Network, plan: &QuantizationPlan, split: &Split) {
     println!("\n[3] weight exponent clamp e >= e_min (fake-quant domain)");
     for (e_min, bits) in [(-3i32, 3), (-5, 4), (-7, 4), (-9, 5), (-15, 5)] {
@@ -216,15 +216,12 @@ fn ablation_ensemble_size(split: &Split) {
         let e = Ensemble::new(members[..m].to_vec()).expect("ensemble");
         let batches: Vec<_> = Batcher::new(&split.test, 32).iter().collect();
         let acc = e.evaluate(batches, 1).expect("eval").top1();
-        println!(
-            "    M = {m}: top-1 {:.2}%   (energy scales ~{m}x single MF-DFP)",
-            acc * 100.0
-        );
+        println!("    M = {m}: top-1 {:.2}%   (energy scales ~{m}x single MF-DFP)", acc * 100.0);
     }
 }
 
 /// 6. Activation bit-width sweep (fake-quant domain): the paper picks 8
-/// bits; fewer breaks, more buys little.
+///    bits; fewer breaks, more buys little.
 fn ablation_bit_width(float_net: &Network, split: &Split) {
     println!("\n[6] activation bit-width sweep (dynamic per-layer formats)");
     for bits in [4u8, 6, 8, 12, 16] {
@@ -256,7 +253,11 @@ fn main() {
     print!("calibrated fractional lengths: input f={}", plan.input_format.frac());
     for (i, layer) in float_net.layers().iter().enumerate() {
         if layer.is_weighted() {
-            print!(", {} f={}", layer.describe().split(':').next().unwrap_or("?"), plan.boundary_formats[i].frac());
+            print!(
+                ", {} f={}",
+                layer.describe().split(':').next().unwrap_or("?"),
+                plan.boundary_formats[i].frac()
+            );
         }
     }
     println!();

@@ -108,9 +108,8 @@ fn main() {
         for e in 0..n {
             let a = labels_only.history.get(e).map(|p| p.test_error);
             let b = student_teacher.history.get(e).map(|p| p.test_error);
-            let near = |v: Option<f32>| {
-                v.is_some_and(|v| (v - level).abs() <= span / (2.0 * rows as f32))
-            };
+            let near =
+                |v: Option<f32>| v.is_some_and(|v| (v - level).abs() <= span / (2.0 * rows as f32));
             line.push(match (near(a), near(b)) {
                 (true, true) => '*',
                 (true, false) => 'L',

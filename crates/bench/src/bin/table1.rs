@@ -28,11 +28,8 @@ fn main() {
         "Precision (in,w)", "Area (mm2)", "Power (mW)", "AreaSav(%)", "PowerSav(%)"
     );
     mfdfp_bench::rule(80);
-    let rows = [
-        ("Floating-point(32,32)", &fp),
-        ("Proposed MF-DFP(8,4)", &mf),
-        ("Ens. MF-DFP(8,4)", &ens),
-    ];
+    let rows =
+        [("Floating-point(32,32)", &fp), ("Proposed MF-DFP(8,4)", &mf), ("Ens. MF-DFP(8,4)", &ens)];
     for (name, m) in rows {
         println!(
             "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",

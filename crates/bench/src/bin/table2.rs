@@ -83,11 +83,8 @@ fn accuracy_numbers(
 
     // Deployed (integer-engine) accuracies.
     let mf = qnet_accuracy(&Ensemble::new(vec![out1.qnet.clone()]).expect("one member"), split, k);
-    let ens = qnet_accuracy(
-        &Ensemble::new(vec![out1.qnet, out2.qnet]).expect("two members"),
-        split,
-        k,
-    );
+    let ens =
+        qnet_accuracy(&Ensemble::new(vec![out1.qnet, out2.qnet]).expect("two members"), split, k);
     AccNumbers { fp, mf, ens }
 }
 
@@ -98,13 +95,7 @@ fn qnet_accuracy(ens: &Ensemble, split: &Split, k: usize) -> (f32, f32) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn print_block(
-    title: &str,
-    hw: &HwNumbers,
-    acc: &AccNumbers,
-    k: usize,
-    paper_rows: [&str; 3],
-) {
+fn print_block(title: &str, hw: &HwNumbers, acc: &AccNumbers, k: usize, paper_rows: [&str; 3]) {
     println!("\n=== {title} ===");
     println!(
         "{:<26} {:>18} {:>12} {:>12} {:>12}",

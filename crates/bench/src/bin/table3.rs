@@ -27,12 +27,7 @@ fn main() {
     mfdfp_bench::rule(58);
     println!("{:<22} {:>16.4} {:>16.2}", "Floating-Point", rc.fp32_mib(), ra.fp32_mib());
     println!("{:<22} {:>16.4} {:>16.2}", "MF-DFP", rc.mfdfp_mib(), ra.mfdfp_mib());
-    println!(
-        "{:<22} {:>16.4} {:>16.2}",
-        "Ensemble MF-DFP",
-        rc.ensemble_mib(2),
-        ra.ensemble_mib(2)
-    );
+    println!("{:<22} {:>16.4} {:>16.2}", "Ensemble MF-DFP", rc.ensemble_mib(2), ra.ensemble_mib(2));
 
     println!("\nPaper reference (Table 3):");
     println!("  Floating-Point            0.3417           237.95");

@@ -67,8 +67,8 @@ pub fn pretrain_float_converged(
     for attempt in 0..3u64 {
         let cfg = SgdConfig { learning_rate: lr0, momentum: 0.9, weight_decay: 1e-4 };
         let mut sgd = Sgd::new(cfg).expect("valid SGD configuration");
-        let mut schedule = mfdfp_nn::PlateauSchedule::new(lr0, 0.1, 3, lr0 * 1e-3)
-            .expect("valid schedule");
+        let mut schedule =
+            mfdfp_nn::PlateauSchedule::new(lr0, 0.1, 3, lr0 * 1e-3).expect("valid schedule");
         // Early epochs are noisy; let the schedule observe only after
         // warmup so an unlucky start cannot freeze the learning rate.
         let warmup = 5usize.min(max_epochs / 2);

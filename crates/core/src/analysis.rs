@@ -45,8 +45,7 @@ impl ExponentHistogram {
 /// Computes the exponent histogram of every conv/FC weight in `net`.
 pub fn exponent_histogram(net: &Network) -> ExponentHistogram {
     let span = (EXP_MAX - EXP_MIN) as usize + 1;
-    let mut hist =
-        ExponentHistogram { counts: vec![0; span], clamped_high: 0, clamped_low: 0 };
+    let mut hist = ExponentHistogram { counts: vec![0; span], clamped_high: 0, clamped_low: 0 };
     for layer in net.layers() {
         let weights = match layer {
             Layer::Conv(c) => c.weights(),

@@ -219,7 +219,8 @@ impl<'a> Reader<'a> {
     }
 
     fn conv_geometry(&mut self) -> Result<ConvGeometry> {
-        let vals: Vec<usize> = (0..8).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+        let vals: Vec<usize> =
+            (0..8).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
         let g = ConvGeometry::new(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6])
             .map_err(CoreError::Tensor)?;
         g.with_groups(vals[7]).map_err(CoreError::Tensor)

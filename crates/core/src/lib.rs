@@ -50,9 +50,7 @@ mod qnet;
 mod quantize;
 mod shadow;
 
-pub use analysis::{
-    exponent_histogram, quantization_errors, ExponentHistogram, LayerQuantError,
-};
+pub use analysis::{exponent_histogram, quantization_errors, ExponentHistogram, LayerQuantError};
 pub use deploy::{from_bytes, to_bytes, MAGIC, VERSION};
 pub use ensemble::Ensemble;
 pub use error::{CoreError, Result};

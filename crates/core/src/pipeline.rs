@@ -93,7 +93,7 @@ impl PipelineConfig {
         if self.phase1_epochs == 0 {
             return Err(CoreError::BadConfig("phase 1 needs at least one epoch".into()));
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err(CoreError::BadConfig("learning rate must be positive".into()));
         }
         Ok(())
@@ -215,13 +215,7 @@ pub fn run_pipeline(
     let acc = trainer.evaluate_quantized(eval, cfg.eval_k)?;
     let master = trainer.into_master();
     let qnet = QuantizedNet::from_network(&master, &plan)?;
-    Ok(PipelineOutcome {
-        qnet,
-        master,
-        history,
-        final_top1: acc.top1(),
-        final_topk: acc.topk(),
-    })
+    Ok(PipelineOutcome { qnet, master, history, final_top1: acc.top1(), final_topk: acc.topk() })
 }
 
 #[cfg(test)]

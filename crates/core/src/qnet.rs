@@ -87,7 +87,12 @@ impl QuantizedNet {
                     let bias_fmt = plan.bias_formats[i].expect("weighted layer has bias format");
                     layers.push(QLayer::Conv(ShiftConv {
                         geom: *c.geometry(),
-                        weights: c.weights().as_slice().iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+                        weights: c
+                            .weights()
+                            .as_slice()
+                            .iter()
+                            .map(|&w| Pow2Weight::from_f32(w))
+                            .collect(),
                         bias: align_biases(c.bias().as_slice(), bias_fmt, current),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
@@ -102,7 +107,12 @@ impl QuantizedNet {
                     layers.push(QLayer::Linear(ShiftLinear {
                         in_features: l.in_features(),
                         out_features: l.out_features(),
-                        weights: l.weights().as_slice().iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+                        weights: l
+                            .weights()
+                            .as_slice()
+                            .iter()
+                            .map(|&w| Pow2Weight::from_f32(w))
+                            .collect(),
                         bias: align_biases(l.bias().as_slice(), bias_fmt, current),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
@@ -134,8 +144,7 @@ impl QuantizedNet {
                 }
                 Layer::Tanh(_) | Layer::Sigmoid(_) => {
                     return Err(CoreError::Unquantizable(
-                        "smooth non-linearities have no multiplier-free mapping; use ReLU"
-                            .into(),
+                        "smooth non-linearities have no multiplier-free mapping; use ReLU".into(),
                     ))
                 }
             }
@@ -211,11 +220,8 @@ impl QuantizedNet {
     ///
     /// Propagates datapath faults (overflow audits, geometry mismatches).
     pub fn forward_codes(&self, image: &Tensor) -> Result<Vec<i8>> {
-        let mut codes: Vec<i8> = image
-            .as_slice()
-            .iter()
-            .map(|&x| self.input_format.quantize(x) as i8)
-            .collect();
+        let mut codes: Vec<i8> =
+            image.as_slice().iter().map(|&x| self.input_format.quantize(x) as i8).collect();
         for layer in &self.layers {
             codes = match layer {
                 QLayer::Conv(c) => c.run(&codes, &self.tree).map_err(CoreError::Accel)?,

@@ -262,8 +262,7 @@ mod tests {
         // fractional lengths should appear in a real network.
         let (mut net, calib) = small_net_and_batch();
         let plan = calibrate(&mut net, &calib, 8).unwrap();
-        let mut fracs: Vec<i8> =
-            plan.boundary_formats.iter().map(|f| f.frac()).collect();
+        let mut fracs: Vec<i8> = plan.boundary_formats.iter().map(|f| f.frac()).collect();
         fracs.push(plan.input_format.frac());
         fracs.sort_unstable();
         fracs.dedup();
@@ -287,11 +286,7 @@ mod tests {
         let plan = calibrate(&mut net, &calib, 8).unwrap();
         let working = build_working_net(&net, &plan);
         // Input FQ + per-weighted FQ (5 weighted) + per-avg-pool FQ (2).
-        let fq_count = working
-            .layers()
-            .iter()
-            .filter(|l| matches!(l, Layer::FakeQuant(_)))
-            .count();
+        let fq_count = working.layers().iter().filter(|l| matches!(l, Layer::FakeQuant(_))).count();
         assert_eq!(fq_count, 1 + 5 + 2);
         assert_eq!(working.param_count(), net.param_count());
     }

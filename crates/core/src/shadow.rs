@@ -11,8 +11,8 @@
 //! integer-power-of-two training converge.
 
 use mfdfp_nn::{
-    distillation_loss, softmax_cross_entropy, Accuracy, DistillConfig, EpochStats, Network,
-    Phase, Sgd, SgdConfig,
+    distillation_loss, softmax_cross_entropy, Accuracy, DistillConfig, EpochStats, Network, Phase,
+    Sgd, SgdConfig,
 };
 use mfdfp_tensor::Tensor;
 
@@ -65,13 +65,7 @@ impl ShadowTrainer {
     /// Returns a config error for an invalid SGD configuration.
     pub fn new(master: Network, plan: QuantizationPlan, sgd: SgdConfig) -> Result<Self> {
         let working = build_working_net(&master, &plan);
-        Ok(ShadowTrainer {
-            master,
-            working,
-            plan,
-            sgd: Sgd::new(sgd)?,
-            loss: LossKind::HardLabels,
-        })
+        Ok(ShadowTrainer { master, working, plan, sgd: Sgd::new(sgd)?, loss: LossKind::HardLabels })
     }
 
     /// Switches to Phase-2 student–teacher training: subsequent epochs use
@@ -225,8 +219,7 @@ mod tests {
         let mut first = f32::NAN;
         let mut last = f32::NAN;
         for epoch in 0..8 {
-            let batches: Vec<_> =
-                Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
+            let batches: Vec<_> = Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
             let stats = trainer.train_epoch(batches).unwrap();
             if epoch == 0 {
                 first = stats.mean_loss;
@@ -278,8 +271,7 @@ mod tests {
         sync_quantized_params(&before, &mut q_before, &plan);
         let snap_before = q_before.snapshot_params();
         for epoch in 0..5 {
-            let batches: Vec<_> =
-                Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
+            let batches: Vec<_> = Batcher::new(&split.train, 16).shuffled(epoch as u64).collect();
             trainer.train_epoch(batches).unwrap();
         }
         let after = trainer.into_master();

@@ -123,10 +123,7 @@ impl Split {
     /// draws by re-generating at `train_per_class + test_per_class` and
     /// slicing would be wasteful; instead both partitions regenerate with
     /// the same seed and the test partition skips the train draws.
-    pub fn generate(
-        spec: &crate::synthetic::SynthSpec,
-        test_per_class: usize,
-    ) -> Split {
+    pub fn generate(spec: &crate::synthetic::SynthSpec, test_per_class: usize) -> Split {
         // Generate one dataset containing train+test samples per class,
         // then split by index — guaranteeing identical templates and
         // disjoint samples.
@@ -141,7 +138,10 @@ impl Split {
             train_idx.extend(base..base + spec.per_class);
             test_idx.extend(base + spec.per_class..base + joint_spec.per_class);
         }
-        Split { train: subset(&joint, spec, &train_idx), test: subset_test(&joint, spec, test_per_class, &test_idx) }
+        Split {
+            train: subset(&joint, spec, &train_idx),
+            test: subset_test(&joint, spec, test_per_class, &test_idx),
+        }
     }
 }
 
@@ -178,7 +178,15 @@ mod tests {
     use crate::synthetic::SynthSpec;
 
     fn spec() -> SynthSpec {
-        SynthSpec { classes: 4, channels: 1, size: 6, per_class: 8, noise: 0.2, max_shift: 1, seed: 3 }
+        SynthSpec {
+            classes: 4,
+            channels: 1,
+            size: 6,
+            per_class: 8,
+            noise: 0.2,
+            max_shift: 1,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -197,18 +205,15 @@ mod tests {
     #[test]
     fn shuffle_is_deterministic_and_a_permutation() {
         let ds = SyntheticDataset::generate(&spec());
-        let l1: Vec<usize> =
-            Batcher::new(&ds, 7).shuffled(5).flat_map(|(_, l)| l).collect();
-        let l2: Vec<usize> =
-            Batcher::new(&ds, 7).shuffled(5).flat_map(|(_, l)| l).collect();
+        let l1: Vec<usize> = Batcher::new(&ds, 7).shuffled(5).flat_map(|(_, l)| l).collect();
+        let l2: Vec<usize> = Batcher::new(&ds, 7).shuffled(5).flat_map(|(_, l)| l).collect();
         assert_eq!(l1, l2);
-        let l3: Vec<usize> =
-            Batcher::new(&ds, 7).shuffled(6).flat_map(|(_, l)| l).collect();
+        let l3: Vec<usize> = Batcher::new(&ds, 7).shuffled(6).flat_map(|(_, l)| l).collect();
         assert_ne!(l1, l3);
         // Label multiset preserved.
         let mut sorted = l1.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, ds.labels().iter().copied().collect::<Vec<_>>().tap_sorted());
+        assert_eq!(sorted, ds.labels().to_vec().tap_sorted());
     }
 
     trait TapSorted {
@@ -236,10 +241,7 @@ mod tests {
         // Disjoint: no train image equals any test image.
         for i in 0..split.train.len() {
             for j in 0..split.test.len() {
-                assert_ne!(
-                    split.train.sample(i).0.as_slice(),
-                    split.test.sample(j).0.as_slice()
-                );
+                assert_ne!(split.train.sample(i).0.as_slice(), split.test.sample(j).0.as_slice());
             }
         }
         // Balanced test labels.

@@ -108,9 +108,9 @@ impl SyntheticDataset {
         let uni = Uniform::new(0.0f32, 1.0);
         let mut images = Vec::with_capacity(spec.len());
         let mut labels = Vec::with_capacity(spec.len());
-        for class in 0..spec.classes {
+        for (class, template) in templates.iter().enumerate() {
             for _ in 0..spec.per_class {
-                let img = Self::render(spec, &templates[class], &mut rng, uni);
+                let img = Self::render(spec, template, &mut rng, uni);
                 images.push(img);
                 labels.push(class);
             }
@@ -158,8 +158,7 @@ impl SyntheticDataset {
                     // Box–Muller noise sample.
                     let u1 = uni.sample(rng).max(f32::EPSILON);
                     let u2 = uni.sample(rng);
-                    let noise =
-                        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                    let noise = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
                     data.push(contrast * v + brightness + spec.noise * noise);
                 }
             }
@@ -235,7 +234,15 @@ mod tests {
     use super::*;
 
     fn tiny_spec() -> SynthSpec {
-        SynthSpec { classes: 3, channels: 2, size: 8, per_class: 5, noise: 0.2, max_shift: 1, seed: 1 }
+        SynthSpec {
+            classes: 3,
+            channels: 2,
+            size: 8,
+            per_class: 5,
+            noise: 0.2,
+            max_shift: 1,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -277,10 +284,7 @@ mod tests {
         // Compare class 0's first two samples vs class 0 sample and class 1.
         let same = corr(ds.sample(0).0, ds.sample(1).0);
         let cross = corr(ds.sample(0).0, ds.sample(10).0);
-        assert!(
-            same > cross,
-            "same-class correlation {same} should exceed cross-class {cross}"
-        );
+        assert!(same > cross, "same-class correlation {same} should exceed cross-class {cross}");
     }
 
     #[test]

@@ -76,7 +76,7 @@ proptest! {
     /// Shifting by (dy,dx) then (−dy,−dx) restores interior pixels.
     #[test]
     fn shift_inverse_on_interior(
-        vals in proptest::collection::vec(-2.0f32..2.0, 1 * 6 * 6),
+        vals in proptest::collection::vec(-2.0f32..2.0, 6 * 6),
         dy in -2isize..=2,
         dx in -2isize..=2,
     ) {

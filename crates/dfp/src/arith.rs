@@ -14,7 +14,7 @@ pub const ACCUMULATOR_BITS: u8 = 32;
 /// Returns `true` if `v` fits in a signed two's-complement register of
 /// `bits` bits.
 pub fn fits_in_bits(v: i64, bits: u8) -> bool {
-    debug_assert!(bits >= 1 && bits <= 63);
+    debug_assert!((1..=63).contains(&bits));
     let lo = -(1i64 << (bits - 1));
     let hi = (1i64 << (bits - 1)) - 1;
     (lo..=hi).contains(&v)
@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn tree_sum_equals_naive_sum() {
         let t = AdderTree::new(16).unwrap();
-        let products: Vec<i32> = (0..16).map(|i| (i * i * 31 - 700) as i32).collect();
+        let products: Vec<i32> = (0..16).map(|i| i * i * 31 - 700).collect();
         let expect: i64 = products.iter().map(|&p| p as i64).sum();
         assert_eq!(t.sum(&products).unwrap(), expect);
     }

@@ -32,7 +32,9 @@ impl fmt::Display for DfpError {
             DfpError::BadFormat { bits, frac } => {
                 write!(f, "unsupported fixed-point format ⟨{bits},{frac}⟩ (bits must be 2..=32)")
             }
-            DfpError::BadWeightCode(c) => write!(f, "invalid 4-bit weight code {c} (must be 0..=15)"),
+            DfpError::BadWeightCode(c) => {
+                write!(f, "invalid 4-bit weight code {c} (must be 0..=15)")
+            }
             DfpError::BadFanIn(n) => write!(f, "adder tree fan-in {n} is not a power of two"),
             DfpError::Overflow { value, bits } => {
                 write!(f, "value {value} overflows a {bits}-bit register")

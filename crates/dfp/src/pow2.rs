@@ -256,9 +256,8 @@ mod tests {
 
     #[test]
     fn all_sixteen_values_distinct() {
-        let mut vals: Vec<f32> = (0..16u8)
-            .map(|c| Pow2Weight::decode4(c).unwrap().to_f32())
-            .collect();
+        let mut vals: Vec<f32> =
+            (0..16u8).map(|c| Pow2Weight::decode4(c).unwrap().to_f32()).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         vals.dedup();
         assert_eq!(vals.len(), 16, "4-bit codes must map to 16 distinct weights");
@@ -340,8 +339,10 @@ mod tests {
 
     #[test]
     fn nibble_packing_round_trip() {
-        let ws: Vec<Pow2Weight> =
-            [0.5f32, -0.25, 0.007, 1.0, -1.0, 0.1, 0.9].iter().map(|&w| Pow2Weight::from_f32(w)).collect();
+        let ws: Vec<Pow2Weight> = [0.5f32, -0.25, 0.007, 1.0, -1.0, 0.1, 0.9]
+            .iter()
+            .map(|&w| Pow2Weight::from_f32(w))
+            .collect();
         let packed = pack_nibbles(&ws);
         assert_eq!(packed.len(), 4); // ceil(7/2)
         let back = unpack_nibbles(&packed, ws.len()).unwrap();

@@ -103,10 +103,8 @@ impl RangeStats {
             return (bits - 1) as i8;
         }
         let max_code = ((1i64 << (bits - 1)) - 1) as f32;
-        let mut f = (max_code / max_abs)
-            .log2()
-            .floor()
-            .clamp(i8::MIN as f32, i8::MAX as f32) as i32;
+        let mut f =
+            (max_code / max_abs).log2().floor().clamp(i8::MIN as f32, i8::MAX as f32) as i32;
         // Floating-point log2 can land one off at exact-ratio boundaries;
         // verify and adjust (at most one step in practice).
         while f > i8::MIN as i32 && max_code * (-f as f32).exp2() < max_abs {
@@ -164,10 +162,7 @@ mod tests {
             );
             // And is tight: half the range would not cover.
             let tighter = DfpFormat::new(8, fmt.frac() + 1).unwrap();
-            assert!(
-                tighter.max_value() < max,
-                "format {fmt} wastes a bit for max_abs {max}"
-            );
+            assert!(tighter.max_value() < max, "format {fmt} wastes a bit for max_abs {max}");
         }
     }
 

@@ -67,9 +67,7 @@ pub fn load_params(net: &mut Network, bytes: &[u8]) -> Result<()> {
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize,
-            );
+            dims.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize);
         }
         let shape = Shape::new(dims);
         let len = shape.len();

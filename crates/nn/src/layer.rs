@@ -170,7 +170,11 @@ mod tests {
     fn describe_is_nonempty_for_all_variants() {
         let mut rng = TensorRng::seed_from(1);
         let layers = vec![
-            Layer::Conv(Conv2d::new("c", ConvGeometry::new(1, 4, 4, 2, 3, 1, 1).unwrap(), &mut rng)),
+            Layer::Conv(Conv2d::new(
+                "c",
+                ConvGeometry::new(1, 4, 4, 2, 3, 1, 1).unwrap(),
+                &mut rng,
+            )),
             Layer::Linear(Linear::new("f", 4, 2, &mut rng)),
             Layer::Relu(Relu::new()),
             Layer::Flatten(Flatten::new()),

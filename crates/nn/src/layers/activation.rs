@@ -33,12 +33,8 @@ impl Relu {
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.as_ref().expect("relu backward without cached forward mask");
         debug_assert_eq!(mask.len(), grad_out.len());
-        let data = grad_out
-            .as_slice()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Ok(Tensor::from_vec(data, grad_out.shape().clone())?)
     }
 }
@@ -122,8 +118,7 @@ impl FakeQuant {
 
     fn quantize_value(&self, x: f32) -> f32 {
         let scaled = x / self.step;
-        let rounded =
-            if scaled >= 0.0 { (scaled + 0.5).floor() } else { (scaled - 0.5).ceil() };
+        let rounded = if scaled >= 0.0 { (scaled + 0.5).floor() } else { (scaled - 0.5).ceil() };
         (rounded * self.step).clamp(self.min, self.max)
     }
 
@@ -144,14 +139,9 @@ impl FakeQuant {
     ///
     /// Panics if called without a preceding training-phase forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mask =
-            self.mask.as_ref().expect("fake-quant backward without cached forward mask");
-        let data = grad_out
-            .as_slice()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let mask = self.mask.as_ref().expect("fake-quant backward without cached forward mask");
+        let data =
+            grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Ok(Tensor::from_vec(data, grad_out.shape().clone())?)
     }
 }
@@ -384,10 +374,8 @@ impl Sigmoid {
     ///
     /// Panics if called without a preceding training-phase forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let y = self
-            .cached_output
-            .as_ref()
-            .expect("sigmoid backward without cached forward output");
+        let y =
+            self.cached_output.as_ref().expect("sigmoid backward without cached forward output");
         Ok(grad_out.zip_map(y, |g, y| g * y * (1.0 - y))?)
     }
 }
@@ -414,8 +402,8 @@ mod smooth_activation_tests {
         let g = t.backward(&Tensor::ones([4])).unwrap();
         let eps = 1e-3;
         for i in 0..4 {
-            let numeric = ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh())
-                / (2.0 * eps);
+            let numeric =
+                ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
             assert!((numeric - g.as_slice()[i]).abs() < 1e-4, "i={i}");
         }
     }
@@ -439,8 +427,7 @@ mod smooth_activation_tests {
         let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
         let eps = 1e-3;
         for i in 0..3 {
-            let numeric =
-                (sig(x.as_slice()[i] + eps) - sig(x.as_slice()[i] - eps)) / (2.0 * eps);
+            let numeric = (sig(x.as_slice()[i] + eps) - sig(x.as_slice()[i] - eps)) / (2.0 * eps);
             assert!((numeric - g.as_slice()[i]).abs() < 1e-4, "i={i}");
         }
     }

@@ -113,9 +113,8 @@ impl Linear {
             let yd = y.as_mut_slice();
             let bd = self.bias.as_slice();
             for r in 0..n {
-                for (o, &b) in yd[r * self.out_features..(r + 1) * self.out_features]
-                    .iter_mut()
-                    .zip(bd)
+                for (o, &b) in
+                    yd[r * self.out_features..(r + 1) * self.out_features].iter_mut().zip(bd)
                 {
                     *o += b;
                 }
@@ -145,7 +144,9 @@ impl Linear {
             let gb = self.grad_b.as_mut_slice();
             let god = go.as_slice();
             for r in 0..n {
-                for (b, &g) in gb.iter_mut().zip(&god[r * self.out_features..(r + 1) * self.out_features]) {
+                for (b, &g) in
+                    gb.iter_mut().zip(&god[r * self.out_features..(r + 1) * self.out_features])
+                {
                     *b += g;
                 }
             }

@@ -115,9 +115,8 @@ impl Lrn {
         let dd = denom.as_slice();
         let gd = grad_out.as_slice();
         // t_i = g_i · x_i · d_i^{−β−1}, precomputed per element.
-        let t: Vec<f32> = (0..x.len())
-            .map(|i| gd[i] * xd[i] * dd[i].powf(-self.beta - 1.0))
-            .collect();
+        let t: Vec<f32> =
+            (0..x.len()).map(|i| gd[i] * xd[i] * dd[i].powf(-self.beta - 1.0)).collect();
         let mut gx = Tensor::zeros(x.shape().clone());
         let gxd = gx.as_mut_slice();
         let scale = 2.0 * self.alpha * self.beta / self.size as f32;

@@ -85,14 +85,17 @@ impl DistillConfig {
     /// Returns [`NnError::BadConfig`] for non-positive temperature or
     /// negative beta.
     pub fn validate(&self) -> Result<()> {
-        if !(self.temperature > 0.0) {
+        if self.temperature <= 0.0 || self.temperature.is_nan() {
             return Err(NnError::BadConfig(format!(
                 "distillation temperature must be positive, got {}",
                 self.temperature
             )));
         }
         if self.beta < 0.0 {
-            return Err(NnError::BadConfig(format!("beta must be non-negative, got {}", self.beta)));
+            return Err(NnError::BadConfig(format!(
+                "beta must be non-negative, got {}",
+                self.beta
+            )));
         }
         Ok(())
     }
@@ -241,10 +244,7 @@ mod tests {
     #[test]
     fn ce_validates_inputs() {
         let z = logits(&[0.0; 4], 2, 2);
-        assert!(matches!(
-            softmax_cross_entropy(&z, &[0]),
-            Err(NnError::BatchMismatch { .. })
-        ));
+        assert!(matches!(softmax_cross_entropy(&z, &[0]), Err(NnError::BatchMismatch { .. })));
         assert!(matches!(
             softmax_cross_entropy(&z, &[0, 5]),
             Err(NnError::BadLabel { label: 5, classes: 2 })
@@ -295,8 +295,7 @@ mod tests {
         let zt = logits(&[0.2, -0.2, -0.1, 0.1], 2, 2);
         let labels = [0usize, 1];
         let exact = DistillConfig { temperature: 50.0, beta: 1.0, mode: DistillMode::Exact };
-        let approx =
-            DistillConfig { temperature: 50.0, beta: 1.0, mode: DistillMode::PaperApprox };
+        let approx = DistillConfig { temperature: 50.0, beta: 1.0, mode: DistillMode::PaperApprox };
         let (_, ge) = distillation_loss(&zs, &zt, &labels, &exact).unwrap();
         let (_, ga) = distillation_loss(&zs, &zt, &labels, &approx).unwrap();
         for (a, b) in ge.as_slice().iter().zip(ga.as_slice()) {

@@ -108,11 +108,7 @@ mod tests {
         // Sample 0: argmax 1, label 1 → top1 hit.
         // Sample 1: argmax 0, label 2 → miss; top2 is {0,1} → miss.
         // Sample 2: argmax 2, label 1 → miss; top2 {2,1} → top-2 hit.
-        let z = logits(
-            &[0.1, 0.9, 0.0, 0.9, 0.1, 0.0, 0.1, 0.3, 0.6],
-            3,
-            3,
-        );
+        let z = logits(&[0.1, 0.9, 0.0, 0.9, 0.1, 0.0, 0.1, 0.3, 0.6], 3, 3);
         acc.update(&z, &[1, 2, 1]).unwrap();
         assert_eq!(acc.total(), 3);
         assert!((acc.top1() - 1.0 / 3.0).abs() < 1e-6);
@@ -217,9 +213,7 @@ impl ConfusionMatrix {
 
     /// Per-class recall (diagonal over row sum); `None` for unseen classes.
     pub fn recall(&self, class: usize) -> Option<f32> {
-        let row: u64 = self.counts[class * self.classes..(class + 1) * self.classes]
-            .iter()
-            .sum();
+        let row: u64 = self.counts[class * self.classes..(class + 1) * self.classes].iter().sum();
         if row == 0 {
             None
         } else {

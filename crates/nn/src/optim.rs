@@ -25,7 +25,7 @@ impl SgdConfig {
     /// Returns [`NnError::BadConfig`] for non-positive learning rate or
     /// out-of-range momentum.
     pub fn validate(&self) -> Result<()> {
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err(NnError::BadConfig(format!(
                 "learning rate must be positive, got {}",
                 self.learning_rate
@@ -149,7 +149,7 @@ impl PlateauSchedule {
     /// Returns [`NnError::BadConfig`] for a factor outside (0,1), zero
     /// patience, or a non-positive floor.
     pub fn new(initial: f32, factor: f32, patience: usize, min_lr: f32) -> Result<Self> {
-        if !(initial > 0.0) || !(min_lr > 0.0) {
+        if initial <= 0.0 || initial.is_nan() || min_lr <= 0.0 || min_lr.is_nan() {
             return Err(NnError::BadConfig("learning rates must be positive".into()));
         }
         if !(0.0..1.0).contains(&factor) || factor == 0.0 {

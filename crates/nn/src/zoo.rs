@@ -305,8 +305,7 @@ mod tests {
     fn alexnet_with_lrn_has_lrn_layers() {
         let mut rng = TensorRng::seed_from(0);
         let net = alexnet(10, true, &mut rng).unwrap();
-        let lrn_count =
-            net.layers().iter().filter(|l| matches!(l, Layer::Lrn(_))).count();
+        let lrn_count = net.layers().iter().filter(|l| matches!(l, Layer::Lrn(_))).count();
         assert_eq!(lrn_count, 2);
     }
 

@@ -147,8 +147,8 @@ fn full_network_gradient_check() {
     let mut pi = 0usize;
     let mut max_rel = 0.0f32;
     let n_params = analytic.len();
-    for p in 0..n_params {
-        let len = analytic[p].len();
+    for (p, analytic_p) in analytic.iter().enumerate() {
+        let len = analytic_p.len();
         for idx in [0, len / 3, len - 1] {
             // Perturb coordinate (p, idx).
             let mut j = 0usize;
@@ -175,13 +175,10 @@ fn full_network_gradient_check() {
                 j += 1;
             });
             let numeric = (lp - lm) / (2.0 * eps);
-            let a = analytic[p].as_slice()[idx];
+            let a = analytic_p.as_slice()[idx];
             let rel = (numeric - a).abs() / (1.0 + numeric.abs().max(a.abs()));
             max_rel = max_rel.max(rel);
-            assert!(
-                rel < 0.05,
-                "param {p} idx {idx}: numeric {numeric} vs analytic {a}"
-            );
+            assert!(rel < 0.05, "param {p} idx {idx}: numeric {numeric} vs analytic {a}");
         }
         pi += 1;
     }

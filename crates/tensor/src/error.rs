@@ -52,7 +52,12 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {left} vs {right}")
             }
             TensorError::ReshapeLength { from, to } => {
-                write!(f, "cannot reshape {from} ({} elems) to {to} ({} elems)", from.len(), to.len())
+                write!(
+                    f,
+                    "cannot reshape {from} ({} elems) to {to} ({} elems)",
+                    from.len(),
+                    to.len()
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")
@@ -75,11 +80,8 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = TensorError::DataLength { expected: 4, actual: 3 };
         assert_eq!(e.to_string(), "data length 3 does not match shape element count 4");
-        let e = TensorError::ShapeMismatch {
-            left: Shape::d2(2, 3),
-            right: Shape::d2(3, 2),
-            op: "add",
-        };
+        let e =
+            TensorError::ShapeMismatch { left: Shape::d2(2, 3), right: Shape::d2(3, 2), op: "add" };
         assert!(e.to_string().contains("add"));
         let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
         assert!(e.to_string().contains("axis 5"));

@@ -36,13 +36,21 @@
 mod error;
 mod init;
 pub mod ops;
+#[cfg(feature = "parallel")]
+pub mod par;
 mod shape;
 mod tensor;
 
 pub use error::{Result, TensorError};
 pub use init::TensorRng;
-pub use ops::conv::{col2im, conv2d_backward, conv2d_forward, im2col, ConvGeometry};
-pub use ops::matmul::{gemm, matvec, Transpose};
+#[cfg(feature = "parallel")]
+pub use ops::conv::conv2d_forward_parallel;
+pub use ops::conv::{
+    col2im, conv2d_backward, conv2d_forward, conv2d_forward_serial, im2col, ConvGeometry,
+};
+#[cfg(feature = "parallel")]
+pub use ops::matmul::gemm_parallel;
+pub use ops::matmul::{gemm, gemm_serial, matvec, Transpose};
 pub use ops::pool::{pool_backward, pool_forward, PoolGeometry, PoolKind};
 pub use ops::reduce::{
     argmax_rows, log_softmax, softmax, softmax_with_temperature, sum_axis0, topk_rows,

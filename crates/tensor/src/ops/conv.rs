@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{gemm, Transpose};
+use crate::ops::matmul::{gemm, gemm_serial, Transpose};
 use crate::{Shape, Tensor};
 
 /// Static geometry of a 2-D convolution: input extents, kernel, stride, pad.
@@ -88,7 +88,7 @@ impl ConvGeometry {
         if groups == 0 {
             return Err(TensorError::BadGeometry("groups must be positive".into()));
         }
-        if self.in_c % groups != 0 || self.out_c % groups != 0 {
+        if !self.in_c.is_multiple_of(groups) || !self.out_c.is_multiple_of(groups) {
             return Err(TensorError::BadGeometry(format!(
                 "groups {groups} must divide in_c {} and out_c {}",
                 self.in_c, self.out_c
@@ -240,6 +240,44 @@ pub fn col2im(cols: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
     Tensor::from_vec(img, Shape::new(vec![g.in_c, g.in_h, g.in_w]))
 }
 
+/// Computes one sample's output (`OutC×OH×OW`, flattened) into `out_sample`.
+///
+/// `gemm_fn` selects the GEMM kernel so the batch-parallel path can use the
+/// serial kernel per worker (avoiding nested fan-out) while the serial path
+/// lets the row-parallel GEMM accelerate single large images. Every kernel
+/// choice accumulates in the same order, so the output bits never depend on
+/// the schedule.
+fn conv2d_forward_sample<G>(
+    img: &Tensor,
+    wmat: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+    gg: &ConvGeometry,
+    gemm_fn: &G,
+    out_sample: &mut [f32],
+) -> Result<()>
+where
+    G: Fn(&Tensor, Transpose, &Tensor, Transpose) -> Result<Tensor>,
+{
+    let spatial = g.out_h() * g.out_w();
+    for grp in 0..g.groups {
+        let gi = slice_channels(img, grp * gg.in_c, (grp + 1) * gg.in_c)?;
+        let cols = im2col(&gi, gg)?;
+        let wrows = slice_rows(wmat, grp * gg.out_c, (grp + 1) * gg.out_c)?;
+        let gy = gemm_fn(&wrows, Transpose::No, &cols, Transpose::No)?;
+        out_sample[grp * gg.out_c * spatial..(grp + 1) * gg.out_c * spatial]
+            .copy_from_slice(gy.as_slice());
+    }
+    let bd = bias.as_slice();
+    for oc in 0..g.out_c {
+        let b = bd[oc];
+        for v in &mut out_sample[oc * spatial..(oc + 1) * spatial] {
+            *v += b;
+        }
+    }
+    Ok(())
+}
+
 /// Batched convolution forward pass.
 ///
 /// * `input` — `N×C×H×W`
@@ -247,6 +285,11 @@ pub fn col2im(cols: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
 /// * `bias` — `OutC`
 ///
 /// Returns `N×OutC×OH×OW`.
+///
+/// With the `parallel` cargo feature enabled, large batches are split
+/// across OS threads (one contiguous sample range per worker) and large
+/// single images fall through to the row-parallel [`gemm`]; either way the
+/// output is bit-identical to [`conv2d_forward_serial`].
 ///
 /// # Errors
 ///
@@ -257,36 +300,90 @@ pub fn conv2d_forward(
     bias: &Tensor,
     g: &ConvGeometry,
 ) -> Result<Tensor> {
+    #[cfg(feature = "parallel")]
+    {
+        let n = input.shape().dim(0);
+        if n >= 2 && n * g.macs() >= crate::par::MIN_MACS && crate::par::threads() >= 2 {
+            return conv2d_forward_parallel(input, weights, bias, g);
+        }
+    }
+    // Small batch: serial sample loop, but let the (possibly row-parallel)
+    // dispatching `gemm` accelerate large single images.
+    conv2d_forward_with(input, weights, bias, g, &gemm)
+}
+
+/// Shared serial batch loop; `gemm_fn` picks the GEMM kernel.
+fn conv2d_forward_with<G>(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+    gemm_fn: &G,
+) -> Result<Tensor>
+where
+    G: Fn(&Tensor, Transpose, &Tensor, Transpose) -> Result<Tensor>,
+{
     let n = input.shape().dim(0);
     check_conv_operands(input, weights, bias, g)?;
-    let (oh, ow) = (g.out_h(), g.out_w());
     let gg = g.group_geometry();
     let wmat = weights.reshape([g.out_c, g.col_height()])?;
-    let mut out = Tensor::zeros([n, g.out_c, oh, ow]);
-    let spatial = oh * ow;
-    for s in 0..n {
+    let mut out = Tensor::zeros([n, g.out_c, g.out_h(), g.out_w()]);
+    let sample_stride = g.out_c * g.out_h() * g.out_w();
+    for (s, out_sample) in out.as_mut_slice().chunks_mut(sample_stride).enumerate() {
         let img = input.index_axis0(s);
-        let mut y = Tensor::zeros([g.out_c, oh, ow]);
-        for grp in 0..g.groups {
-            let gi = slice_channels(&img, grp * gg.in_c, (grp + 1) * gg.in_c)?;
-            let cols = im2col(&gi, &gg)?;
-            let wrows = slice_rows(&wmat, grp * gg.out_c, (grp + 1) * gg.out_c)?;
-            let gy = gemm(&wrows, Transpose::No, &cols, Transpose::No)?;
-            y.as_mut_slice()[grp * gg.out_c * spatial..(grp + 1) * gg.out_c * spatial]
-                .copy_from_slice(gy.as_slice());
-        }
-        {
-            let yd = y.as_mut_slice();
-            let bd = bias.as_slice();
-            for oc in 0..g.out_c {
-                let b = bd[oc];
-                for v in &mut yd[oc * spatial..(oc + 1) * spatial] {
-                    *v += b;
-                }
-            }
-        }
-        out.set_axis0(s, &y);
+        conv2d_forward_sample(&img, &wmat, bias, g, &gg, gemm_fn, out_sample)?;
     }
+    Ok(out)
+}
+
+/// Single-threaded convolution forward — the deterministic reference path
+/// (serial batch loop over the serial GEMM kernel).
+///
+/// # Errors
+///
+/// Returns a shape error if any operand disagrees with the geometry.
+pub fn conv2d_forward_serial(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+) -> Result<Tensor> {
+    conv2d_forward_with(input, weights, bias, g, &gemm_serial)
+}
+
+/// Batch-parallel convolution forward: samples are split across
+/// `std::thread::scope` workers, each running the serial GEMM kernel on its
+/// own disjoint output range. Bit-identical to [`conv2d_forward_serial`].
+///
+/// Prefer [`conv2d_forward`], which picks this path only when the batch is
+/// large enough to amortise thread spawn-up.
+///
+/// # Errors
+///
+/// Returns a shape error if any operand disagrees with the geometry.
+#[cfg(feature = "parallel")]
+pub fn conv2d_forward_parallel(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+) -> Result<Tensor> {
+    let n = input.shape().dim(0);
+    check_conv_operands(input, weights, bias, g)?;
+    let gg = g.group_geometry();
+    let wmat = weights.reshape([g.out_c, g.col_height()])?;
+    let mut out = Tensor::zeros([n, g.out_c, g.out_h(), g.out_w()]);
+    let sample_stride = g.out_c * g.out_h() * g.out_w();
+    // Treat samples as "rows" of width `sample_stride`; operands were
+    // validated above, so per-sample errors are unreachable.
+    crate::par::for_each_row_chunk(out.as_mut_slice(), n, sample_stride, |s0, count, chunk| {
+        for (off, out_sample) in chunk.chunks_mut(sample_stride).enumerate() {
+            debug_assert!(off < count);
+            let img = input.index_axis0(s0 + off);
+            conv2d_forward_sample(&img, &wmat, bias, g, &gg, &gemm_serial, out_sample)
+                .expect("conv operands validated before fan-out");
+        }
+    });
     Ok(out)
 }
 
@@ -415,12 +512,7 @@ fn check_conv_operands(
 mod tests {
     use super::*;
 
-    fn naive_conv(
-        input: &Tensor,
-        weights: &Tensor,
-        bias: &Tensor,
-        g: &ConvGeometry,
-    ) -> Tensor {
+    fn naive_conv(input: &Tensor, weights: &Tensor, bias: &Tensor, g: &ConvGeometry) -> Tensor {
         let n = input.shape().dim(0);
         let (oh, ow) = (g.out_h(), g.out_w());
         let mut out = Tensor::zeros([n, g.out_c, oh, ow]);
@@ -500,9 +592,8 @@ mod tests {
     #[test]
     fn im2col_known_values() {
         // 1 channel 3×3 image, 2×2 kernel, stride 1, no pad.
-        let img =
-            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), Shape::new(vec![1, 3, 3]))
-                .unwrap();
+        let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), Shape::new(vec![1, 3, 3]))
+            .unwrap();
         let g = ConvGeometry::new(1, 3, 3, 1, 2, 1, 0).unwrap();
         let cols = im2col(&img, &g).unwrap();
         // Columns are output positions (4), rows kernel taps (4).
@@ -685,7 +776,8 @@ mod tests {
             let numeric = (up - down) / (2.0 * eps);
             assert!(
                 (numeric - gw.as_slice()[idx]).abs() < 1e-2,
-                "weight {idx}: numeric {numeric} vs analytic {}", gw.as_slice()[idx]
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                gw.as_slice()[idx]
             );
         }
     }

@@ -1,4 +1,11 @@
 //! Dense matrix multiplication (GEMM) with optional operand transposes.
+//!
+//! All entry points funnel into one row-range kernel ([`gemm_rows`]): the
+//! serial path runs it once over every row, the `parallel` feature splits
+//! the output rows across `std::thread::scope` workers. Because each output
+//! element is accumulated in the same (ascending-`p`) order regardless of
+//! how rows are partitioned, the parallel path is **bit-identical** to the
+//! serial one — determinism is a property of the kernel, not the schedule.
 
 use crate::error::{Result, TensorError};
 use crate::{Shape, Tensor};
@@ -22,13 +29,137 @@ impl Transpose {
     }
 }
 
+/// Column-tile width: a 256-element C/B panel slice stays resident in L1
+/// while a row of A streams past it.
+const COL_TILE: usize = 256;
+
+/// Computes output rows `[row0, row0 + rows)` of `C = A(op) × B(op)` into
+/// `out` (a `rows × n` slice).
+///
+/// Per output element the reduction always runs over `p = 0..k` in
+/// ascending order with the same zero-skip rule, so any row partition of
+/// the output produces bit-identical `f32` results.
+#[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
+fn gemm_rows(
+    ta: Transpose,
+    tb: Transpose,
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert_eq!(out.len(), rows * n);
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            // C[i,j] += A[i,p] * B[p,j] — p-outer streams B rows; the column
+            // tile keeps the C row chunk hot across the p loop.
+            for j0 in (0..n).step_by(COL_TILE) {
+                let j1 = (j0 + COL_TILE).min(n);
+                for r in 0..rows {
+                    let i = row0 + r;
+                    let arow = &ad[i * k..(i + 1) * k];
+                    let crow = &mut out[r * n + j0..r * n + j1];
+                    for (p, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[p * n + j0..p * n + j1];
+                        for (c, &bv) in crow.iter_mut().zip(brow) {
+                            *c += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            // B stored n×k; C[i,j] = dot(Arow_i, Brow_j): both contiguous.
+            for r in 0..rows {
+                let i = row0 + r;
+                let arow = &ad[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    out[r * n + j] = acc;
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // A stored k×m; C[i,j] += A[p,i] * B[p,j], p ascending per row.
+            for j0 in (0..n).step_by(COL_TILE) {
+                let j1 = (j0 + COL_TILE).min(n);
+                for r in 0..rows {
+                    let i = row0 + r;
+                    let crow = &mut out[r * n + j0..r * n + j1];
+                    for p in 0..k {
+                        let av = ad[p * m + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[p * n + j0..p * n + j1];
+                        for (c, &bv) in crow.iter_mut().zip(brow) {
+                            *c += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            // A stored k×m, B stored n×k.
+            for r in 0..rows {
+                let i = row0 + r;
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += ad[p * m + i] * bd[j * k + p];
+                    }
+                    out[r * n + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+fn gemm_check(
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+) -> Result<(usize, usize, usize)> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+            op: "gemm (rank-2 required)",
+        });
+    }
+    let (m, ka) = ta.apply(a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = tb.apply(b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+            op: "gemm (inner dimension)",
+        });
+    }
+    Ok((m, n, ka))
+}
+
 /// General matrix multiply: `C = A(op) × B(op)`.
 ///
 /// `a` must be rank-2 of logical shape `m×k` after applying `ta`, and `b`
 /// rank-2 of logical shape `k×n` after applying `tb`. The result is `m×n`.
 ///
-/// The kernel is a cache-friendly ikj loop (row-major accumulation); no
-/// blocking is needed at the sizes used in this workspace.
+/// With the `parallel` cargo feature enabled, large products are split by
+/// output row across OS threads; the result is bit-identical to
+/// [`gemm_serial`] (see the module docs). Without the feature this *is*
+/// the serial kernel.
 ///
 /// # Errors
 ///
@@ -47,87 +178,49 @@ impl Transpose {
 /// # Ok::<(), mfdfp_tensor::TensorError>(())
 /// ```
 pub fn gemm(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Result<Tensor> {
-    if a.shape().rank() != 2 || b.shape().rank() != 2 {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().clone(),
-            right: b.shape().clone(),
-            op: "gemm (rank-2 required)",
-        });
+    #[cfg(feature = "parallel")]
+    {
+        let (m, n, k) = gemm_check(a, ta, b, tb)?;
+        if m >= 2 && m * n * k >= crate::par::MIN_MACS && crate::par::threads() >= 2 {
+            return gemm_parallel(a, ta, b, tb);
+        }
     }
-    let (m, ka) = ta.apply(a.shape().dim(0), a.shape().dim(1));
-    let (kb, n) = tb.apply(b.shape().dim(0), b.shape().dim(1));
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().clone(),
-            right: b.shape().clone(),
-            op: "gemm (inner dimension)",
-        });
-    }
-    let k = ka;
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.as_slice();
-    let bd = b.as_slice();
+    gemm_serial(a, ta, b, tb)
+}
 
-    match (ta, tb) {
-        (Transpose::No, Transpose::No) => {
-            // C[i,j] += A[i,p] * B[p,j] — ikj order streams B rows.
-            for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
-                let crow = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[p * n..(p + 1) * n];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += av * bv;
-                    }
-                }
-            }
-        }
-        (Transpose::No, Transpose::Yes) => {
-            // B stored n×k; C[i,j] = dot(Arow_i, Brow_j): both contiguous.
-            for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let brow = &bd[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    out[i * n + j] = acc;
-                }
-            }
-        }
-        (Transpose::Yes, Transpose::No) => {
-            // A stored k×m; C[i,j] += A[p,i] * B[p,j].
-            for p in 0..k {
-                let arow = &ad[p * m..(p + 1) * m];
-                let brow = &bd[p * n..(p + 1) * n];
-                for (i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let crow = &mut out[i * n..(i + 1) * n];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += av * bv;
-                    }
-                }
-            }
-        }
-        (Transpose::Yes, Transpose::Yes) => {
-            // A stored k×m, B stored n×k.
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += ad[p * m + i] * bd[j * k + p];
-                    }
-                    out[i * n + j] = acc;
-                }
-            }
-        }
-    }
+/// Single-threaded GEMM — the deterministic reference kernel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+/// [`gemm`].
+pub fn gemm_serial(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Result<Tensor> {
+    let (m, n, k) = gemm_check(a, ta, b, tb)?;
+    let mut out = vec![0.0f32; m * n];
+    gemm_rows(ta, tb, a.as_slice(), b.as_slice(), &mut out, 0, m, m, n, k);
+    Tensor::from_vec(out, Shape::d2(m, n))
+}
+
+/// Multi-threaded GEMM: output rows are split across `std::thread::scope`
+/// workers. Bit-identical to [`gemm_serial`] for every input (the row
+/// kernel fixes the accumulation order; threads only change which core
+/// computes which rows).
+///
+/// Prefer [`gemm`], which falls back to the serial kernel when the product
+/// is too small to amortise thread spawn-up.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+/// [`gemm`].
+#[cfg(feature = "parallel")]
+pub fn gemm_parallel(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Result<Tensor> {
+    let (m, n, k) = gemm_check(a, ta, b, tb)?;
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    crate::par::for_each_row_chunk(&mut out, m, n, |row0, rows, chunk| {
+        gemm_rows(ta, tb, ad, bd, chunk, row0, rows, m, n, k);
+    });
     Tensor::from_vec(out, Shape::d2(m, n))
 }
 
@@ -198,6 +291,20 @@ mod tests {
     }
 
     #[test]
+    fn gemm_wider_than_col_tile() {
+        // Exercise the column-tiled path: n > COL_TILE.
+        let n = COL_TILE + 17;
+        let a = t2(2, 3, &[1.0, -2.0, 0.5, 0.0, 1.0, 2.0]);
+        let b = Tensor::from_fn(vec![3, n], |i| (i % 7) as f32 - 3.0);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+        // Check a handful of entries against the naive definition.
+        for (i, j) in [(0, 0), (1, 5), (0, COL_TILE), (1, n - 1)] {
+            let expect: f32 = (0..3).map(|p| a.at(&[i, p]) * b.at(&[p, j])).sum();
+            assert!((c.at(&[i, j]) - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
     fn all_transpose_combinations_agree() {
         let a = t2(2, 3, &[1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
         let b = t2(3, 4, &[2.0, 0.0, 1.0, -1.0, 3.0, 5.0, -2.0, 0.5, 1.0, 1.0, 1.0, 1.0]);
@@ -253,5 +360,57 @@ mod tests {
         let a = t2(2, 2, &[0.0; 4]);
         let bad = Tensor::from_slice(&[1.0, 2.0, 3.0]);
         assert!(matvec(&a, &bad).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    mod parallel {
+        use super::*;
+
+        #[test]
+        fn parallel_bit_identical_even_below_threshold() {
+            // Force the parallel kernel on a product the dispatcher would
+            // run serially.
+            let a = Tensor::from_fn(vec![7, 13], |i| (i as f32).sin());
+            let b = Tensor::from_fn(vec![13, 9], |i| (i as f32 * 0.37).cos());
+            for ta in [Transpose::No, Transpose::Yes] {
+                for tb in [Transpose::No, Transpose::Yes] {
+                    let (a, b) = match (ta, tb) {
+                        (Transpose::No, Transpose::No) => (a.clone(), b.clone()),
+                        (Transpose::No, Transpose::Yes) => (a.clone(), transpose(&b)),
+                        (Transpose::Yes, Transpose::No) => (transpose(&a), b.clone()),
+                        (Transpose::Yes, Transpose::Yes) => (transpose(&a), transpose(&b)),
+                    };
+                    let s = gemm_serial(&a, ta, &b, tb).unwrap();
+                    let p = gemm_parallel(&a, ta, &b, tb).unwrap();
+                    let same = s
+                        .as_slice()
+                        .iter()
+                        .zip(p.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "parallel gemm diverged for ({ta:?}, {tb:?})");
+                }
+            }
+        }
+
+        #[test]
+        fn parallel_handles_zero_width_output() {
+            // Regression: chunks_mut(0) must not panic when n == 0.
+            let a = Tensor::from_fn(vec![4, 3], |i| i as f32);
+            let b = Tensor::from_vec(vec![], Shape::d2(3, 0)).unwrap();
+            let p = gemm_parallel(&a, Transpose::No, &b, Transpose::No).unwrap();
+            assert_eq!(p.shape().dims(), &[4, 0]);
+            let s = gemm_serial(&a, Transpose::No, &b, Transpose::No).unwrap();
+            assert_eq!(s.shape(), p.shape());
+        }
+
+        #[test]
+        fn dispatcher_crosses_threshold_bit_identically() {
+            // 128×128×128 > par::MIN_MACS ⇒ gemm() takes the threaded path.
+            let a = Tensor::from_fn(vec![128, 128], |i| ((i * 31 % 101) as f32 - 50.0) / 25.0);
+            let b = Tensor::from_fn(vec![128, 128], |i| ((i * 17 % 97) as f32 - 48.0) / 24.0);
+            let s = gemm_serial(&a, Transpose::No, &b, Transpose::No).unwrap();
+            let d = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+            assert!(s.as_slice().iter().zip(d.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
     }
 }

@@ -63,12 +63,12 @@ impl PoolGeometry {
 
     /// Output height (ceil mode).
     pub fn out_h(&self) -> usize {
-        (self.in_h - self.window + self.stride - 1) / self.stride + 1
+        (self.in_h - self.window).div_ceil(self.stride) + 1
     }
 
     /// Output width (ceil mode).
     pub fn out_w(&self) -> usize {
-        (self.in_w - self.window + self.stride - 1) / self.stride + 1
+        (self.in_w - self.window).div_ceil(self.stride) + 1
     }
 
     /// Comparison/add operations for one image (hardware cost model input).
@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn max_pool_known_values() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             Shape::nchw(1, 1, 4, 4),
         )
         .unwrap();
@@ -253,11 +256,8 @@ mod tests {
 
     #[test]
     fn avg_pool_known_values() {
-        let x = Tensor::from_vec(
-            (1..=16).map(|v| v as f32).collect(),
-            Shape::nchw(1, 1, 4, 4),
-        )
-        .unwrap();
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), Shape::nchw(1, 1, 4, 4))
+            .unwrap();
         let g = PoolGeometry::new(1, 4, 4, 2, 2).unwrap();
         let (y, _) = pool_forward(&x, PoolKind::Avg, &g).unwrap();
         assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
@@ -267,8 +267,8 @@ mod tests {
     fn overhanging_window_avg_uses_true_count() {
         // 3×3 input, window 2 stride 2 → ceil gives 2×2 output; the corner
         // window covers a single element.
-        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), Shape::nchw(1, 1, 3, 3))
-            .unwrap();
+        let x =
+            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), Shape::nchw(1, 1, 3, 3)).unwrap();
         let g = PoolGeometry::new(1, 3, 3, 2, 2).unwrap();
         let (y, _) = pool_forward(&x, PoolKind::Avg, &g).unwrap();
         // Windows: {1,2,4,5}, {3,6}, {7,8}, {9}
@@ -287,7 +287,7 @@ mod tests {
         assert_eq!(y.as_slice(), &[9.0]);
         let go = Tensor::from_vec(vec![2.5], Shape::nchw(1, 1, 1, 1)).unwrap();
         let gi = pool_backward(&go, PoolKind::Max, &arg, &g).unwrap();
-        let mut expect = vec![0.0f32; 9];
+        let mut expect = [0.0f32; 9];
         expect[1] = 2.5;
         assert_eq!(gi.as_slice(), &expect[..]);
     }
@@ -306,9 +306,7 @@ mod tests {
         let g = PoolGeometry::new(2, 5, 5, 3, 2).unwrap();
         // Strictly distinct values (no ties), so the max-pool gradient is
         // well-defined at every point and finite differences are valid.
-        let mut x = Tensor::from_fn([1, 2, 5, 5], |i| {
-            i as f32 * 0.137 + (i * i) as f32 * 0.011
-        });
+        let mut x = Tensor::from_fn([1, 2, 5, 5], |i| i as f32 * 0.137 + (i * i) as f32 * 0.011);
         for kind in [PoolKind::Max, PoolKind::Avg] {
             let (y, arg) = pool_forward(&x, kind, &g).unwrap();
             let ones = Tensor::ones(y.shape().clone());

@@ -43,8 +43,10 @@ pub fn softmax_with_temperature(logits: &Tensor, tau: f32) -> Result<Tensor> {
             op: "softmax (rank-2 required)",
         });
     }
-    if !(tau > 0.0) {
-        return Err(TensorError::BadGeometry(format!("softmax temperature must be > 0, got {tau}")));
+    if tau <= 0.0 || tau.is_nan() {
+        return Err(TensorError::BadGeometry(format!(
+            "softmax temperature must be > 0, got {tau}"
+        )));
     }
     let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
     let z = logits.as_slice();

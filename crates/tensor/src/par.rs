@@ -1,0 +1,99 @@
+//! Scoped-thread fan-out helpers behind the `parallel` cargo feature.
+//!
+//! The build environment has no crates.io access, so instead of `rayon`
+//! this module provides the two primitives the hot path needs — an OS
+//! thread count and a disjoint row-chunk fan-out over `std::thread::scope`.
+//! Work is partitioned into *contiguous row ranges*; the kernels invoked on
+//! each range fix the per-element accumulation order, so results are
+//! bit-identical to a single-threaded run no matter how many workers the
+//! machine offers.
+//!
+//! Threads are spawned per call. That costs tens of microseconds, which is
+//! why callers gate the parallel path behind a work threshold instead of
+//! parallelising every tiny product.
+
+use std::sync::OnceLock;
+
+/// Work threshold (in multiply-accumulates) below which the parallel
+/// dispatchers fall back to the serial kernels: thread spawn-up costs tens
+/// of microseconds, which smaller products cannot repay. Shared by the
+/// GEMM and convolution dispatch so the two hot paths stay consistent.
+pub(crate) const MIN_MACS: usize = 1 << 20;
+
+/// Number of worker threads to fan out to (`MFDFP_THREADS` overrides the
+/// detected core count; values of 0 or 1 disable fan-out).
+pub fn threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("MFDFP_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Splits `out` (an `m × n` row-major buffer) into contiguous row chunks
+/// and runs `kernel(row0, rows, chunk)` on each chunk from its own scoped
+/// thread. Runs inline when a single chunk covers the whole buffer.
+pub fn for_each_row_chunk<F>(out: &mut [f32], m: usize, n: usize, kernel: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), m * n);
+    // Degenerate extents (m == 0 or n == 0): nothing to fan out, and
+    // `chunks_mut(0)` would panic.
+    let rows_per_chunk = m.div_ceil(threads().max(1)).max(1);
+    if rows_per_chunk >= m || n == 0 {
+        kernel(0, m, out);
+        return;
+    }
+    let kernel = &kernel;
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(rows_per_chunk * n).enumerate() {
+            scope.spawn(move || {
+                let row0 = idx * rows_per_chunk;
+                kernel(row0, chunk.len() / n, chunk);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_row_exactly_once() {
+        let (m, n) = (23, 5);
+        let mut out = vec![0.0f32; m * n];
+        for_each_row_chunk(&mut out, m, n, |row0, rows, chunk| {
+            for r in 0..rows {
+                for c in 0..n {
+                    chunk[r * n + c] += (row0 + r) as f32;
+                }
+            }
+        });
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(out[i * n + j], i as f32, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_runs_inline() {
+        let mut out = vec![0.0f32; 4];
+        for_each_row_chunk(&mut out, 1, 4, |row0, rows, chunk| {
+            assert_eq!((row0, rows, chunk.len()), (0, 1, 4));
+            chunk.fill(1.0);
+        });
+        assert_eq!(out, [1.0; 4]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

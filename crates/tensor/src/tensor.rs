@@ -71,9 +71,9 @@ impl Tensor {
     }
 
     /// Builds a tensor by evaluating `f` at every flat index.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { shape, data }
     }
 
@@ -455,8 +455,8 @@ mod tests {
 
     #[test]
     fn axis0_slicing_round_trip() {
-        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), Shape::new(vec![3, 4]))
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..12).map(|i| i as f32).collect(), Shape::new(vec![3, 4])).unwrap();
         let row1 = t.index_axis0(1);
         assert_eq!(row1.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
         let mut t2 = Tensor::zeros([3, 4]);

@@ -2,8 +2,8 @@
 //! backprop silently assumes.
 
 use mfdfp_tensor::{
-    col2im, conv2d_backward, conv2d_forward, gemm, im2col, pool_backward, pool_forward,
-    softmax, ConvGeometry, PoolGeometry, PoolKind, Shape, Tensor, Transpose,
+    col2im, conv2d_backward, conv2d_forward, gemm, im2col, pool_backward, pool_forward, softmax,
+    ConvGeometry, PoolGeometry, PoolKind, Shape, Tensor, Transpose,
 };
 use proptest::prelude::*;
 
@@ -67,8 +67,8 @@ proptest! {
     /// conv(x1 + x2) = conv(x1) + conv(x2) − bias (bias counted once).
     #[test]
     fn conv_input_linearity(
-        x1 in tensor_strategy(1 * 2 * 5 * 5),
-        x2 in tensor_strategy(1 * 2 * 5 * 5),
+        x1 in tensor_strategy(2 * 5 * 5),
+        x2 in tensor_strategy(2 * 5 * 5),
         w in tensor_strategy(3 * 2 * 9),
     ) {
         let g = ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
@@ -88,9 +88,9 @@ proptest! {
     /// ⟨conv(x), g⟩ = ⟨x, backward_input(g)⟩ for zero bias.
     #[test]
     fn conv_backward_is_adjoint(
-        x in tensor_strategy(1 * 2 * 5 * 5),
+        x in tensor_strategy(2 * 5 * 5),
         w in tensor_strategy(2 * 2 * 9),
-        go in tensor_strategy(1 * 2 * 5 * 5),
+        go in tensor_strategy(2 * 5 * 5),
     ) {
         let g = ConvGeometry::new(2, 5, 5, 2, 3, 1, 1).unwrap();
         let tx = Tensor::from_vec(x, Shape::nchw(1, 2, 5, 5)).unwrap();
@@ -107,7 +107,7 @@ proptest! {
     /// Max pooling is monotone: pointwise larger inputs give pointwise
     /// larger outputs.
     #[test]
-    fn max_pool_monotone(x in tensor_strategy(1 * 1 * 6 * 6), bump in 0.0f32..1.0) {
+    fn max_pool_monotone(x in tensor_strategy(6 * 6), bump in 0.0f32..1.0) {
         let g = PoolGeometry::new(1, 6, 6, 2, 2).unwrap();
         let tx = Tensor::from_vec(x.clone(), Shape::nchw(1, 1, 6, 6)).unwrap();
         let bigger = tx.map(|v| v + bump);
@@ -121,7 +121,7 @@ proptest! {
     /// Average pooling preserves the mean exactly when windows tile the
     /// input perfectly.
     #[test]
-    fn avg_pool_preserves_mean(x in tensor_strategy(1 * 2 * 4 * 4)) {
+    fn avg_pool_preserves_mean(x in tensor_strategy(2 * 4 * 4)) {
         let g = PoolGeometry::new(2, 4, 4, 2, 2).unwrap();
         let tx = Tensor::from_vec(x, Shape::nchw(1, 2, 4, 4)).unwrap();
         let (y, _) = pool_forward(&tx, PoolKind::Avg, &g).unwrap();
@@ -130,7 +130,7 @@ proptest! {
 
     /// Pool backward conserves gradient mass for avg pooling.
     #[test]
-    fn avg_pool_backward_conserves_mass(go in tensor_strategy(1 * 1 * 2 * 2)) {
+    fn avg_pool_backward_conserves_mass(go in tensor_strategy(2 * 2)) {
         let g = PoolGeometry::new(1, 4, 4, 2, 2).unwrap();
         let tgo = Tensor::from_vec(go, Shape::nchw(1, 1, 2, 2)).unwrap();
         let gi = pool_backward(&tgo, PoolKind::Avg, &[], &g).unwrap();
@@ -167,6 +167,101 @@ proptest! {
         ty.axpy(-alpha, &tx).unwrap();
         for (a, b) in ty.as_slice().iter().zip(&y) {
             prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}
+
+/// The `parallel` feature must never change a single output bit: threads
+/// only reschedule work, the kernels fix the accumulation order.
+#[cfg(feature = "parallel")]
+mod parallel_equivalence {
+    use mfdfp_tensor::{
+        conv2d_forward, conv2d_forward_parallel, conv2d_forward_serial, gemm, gemm_parallel,
+        gemm_serial, ConvGeometry, Tensor, Transpose,
+    };
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random tensor from a seed (keeps the strategy
+    /// space to shapes; values derive from the seed).
+    fn seeded(dims: Vec<usize>, seed: u64) -> Tensor {
+        Tensor::from_fn(dims, move |i| {
+            let h = (i as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            ((h >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+        })
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shapes diverged");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: bit divergence at flat index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// gemm_parallel == gemm_serial, bit for bit, on random shapes and
+        /// every transpose combination (shapes straddle the dispatcher's
+        /// work threshold from below).
+        #[test]
+        fn gemm_parallel_bit_identical(
+            m in 1usize..48,
+            k in 1usize..48,
+            n in 1usize..48,
+            seed in 0u64..1_000_000,
+            ta in proptest::bool::ANY,
+            tb in proptest::bool::ANY,
+        ) {
+            let (ta, tb) = (
+                if ta { Transpose::Yes } else { Transpose::No },
+                if tb { Transpose::Yes } else { Transpose::No },
+            );
+            let a_dims = if ta == Transpose::Yes { vec![k, m] } else { vec![m, k] };
+            let b_dims = if tb == Transpose::Yes { vec![n, k] } else { vec![k, n] };
+            let a = seeded(a_dims, seed);
+            let b = seeded(b_dims, seed ^ 0xABCD);
+            let serial = gemm_serial(&a, ta, &b, tb).unwrap();
+            let parallel = gemm_parallel(&a, ta, &b, tb).unwrap();
+            let dispatched = gemm(&a, ta, &b, tb).unwrap();
+            assert_bits_equal(&serial, &parallel, "gemm_parallel");
+            assert_bits_equal(&serial, &dispatched, "gemm dispatch");
+        }
+
+        /// conv2d_forward_parallel == conv2d_forward_serial, bit for bit,
+        /// on random geometries (including grouped convolutions).
+        #[test]
+        fn conv_forward_parallel_bit_identical(
+            batch in 1usize..6,
+            in_c in 1usize..5,
+            hw in 4usize..11,
+            out_c in 1usize..7,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..3,
+            grouped in proptest::bool::ANY,
+            seed in 0u64..1_000_000,
+        ) {
+            // Double the channel counts when testing groups so 2 divides both.
+            let (in_c, out_c, groups) =
+                if grouped { (in_c * 2, out_c * 2, 2) } else { (in_c, out_c, 1) };
+            let g = ConvGeometry::new(in_c, hw, hw, out_c, kernel, stride, pad)
+                .unwrap()
+                .with_groups(groups)
+                .unwrap();
+            let x = seeded(vec![batch, in_c, hw, hw], seed);
+            let wd = g.weight_dims();
+            let w = seeded(wd.to_vec(), seed ^ 0x1234);
+            let b = seeded(vec![out_c], seed ^ 0x5678);
+            let serial = conv2d_forward_serial(&x, &w, &b, &g).unwrap();
+            let parallel = conv2d_forward_parallel(&x, &w, &b, &g).unwrap();
+            let dispatched = conv2d_forward(&x, &w, &b, &g).unwrap();
+            assert_bits_equal(&serial, &parallel, "conv2d_forward_parallel");
+            assert_bits_equal(&serial, &dispatched, "conv2d_forward dispatch");
         }
     }
 }

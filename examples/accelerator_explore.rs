@@ -26,16 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(80));
     for (neurons, synapses) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
-        let cfg = AcceleratorConfig {
-            neurons,
-            synapses,
-            ..AcceleratorConfig::paper_mf_dfp()
-        };
+        let cfg = AcceleratorConfig { neurons, synapses, ..AcceleratorConfig::paper_mf_dfp() };
         let design = design_metrics(&cfg, &lib)?;
-        let run = RunReport::from_schedule(
-            &schedule_network(&net, &cfg, DmaModel::Overlapped)?,
-            &design,
-        );
+        let run =
+            RunReport::from_schedule(&schedule_network(&net, &cfg, DmaModel::Overlapped)?, &design);
         let marker = if neurons == 16 && synapses == 16 { "  <- paper" } else { "" };
         println!(
             "{:<18} {:>10} {:>11.2} {:>11.2} {:>12.2} {:>14.2}{marker}",
@@ -49,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nmemory-bandwidth sensitivity (the effect the paper excludes):\n");
-    println!(
-        "{:<26} {:>14} {:>14}",
-        "DMA model", "FP32 time (us)", "MF-DFP time (us)"
-    );
+    println!("{:<26} {:>14} {:>14}", "DMA model", "FP32 time (us)", "MF-DFP time (us)");
     println!("{}", "-".repeat(58));
     let fp_cfg = AcceleratorConfig::paper_fp32();
     let mf_cfg = AcceleratorConfig::paper_mf_dfp();

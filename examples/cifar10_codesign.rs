@@ -72,11 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Ensemble 2xMF-DFP", AcceleratorConfig::paper_ensemble()),
     ] {
         // Ensemble members run in parallel: schedule one member.
-        let sched_cfg = if accel_cfg.num_pus > 1 {
-            AcceleratorConfig::paper_mf_dfp()
-        } else {
-            accel_cfg
-        };
+        let sched_cfg =
+            if accel_cfg.num_pus > 1 { AcceleratorConfig::paper_mf_dfp() } else { accel_cfg };
         let run = RunReport::from_schedule(
             &schedule_network(&exact, &sched_cfg, DmaModel::Overlapped)?,
             &design_metrics(&accel_cfg, &lib)?,

@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fp_run.energy_uj
     );
 
-    println!("{:<6} {:>10} {:>12} {:>14} {:>12}", "M", "top-1 (%)", "energy (uJ)", "saving vs FP", "Δacc vs FP");
+    println!(
+        "{:<6} {:>10} {:>12} {:>14} {:>12}",
+        "M", "top-1 (%)", "energy (uJ)", "saving vs FP", "Δacc vs FP"
+    );
     mfdfp_bench_rule(60);
     for m in 1..=members.len() {
         let ens = Ensemble::new(members[..m].to_vec())?;
@@ -93,7 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (acc - float_acc) * 100.0
         );
     }
-    println!("\nshape: even M=2 keeps ~80% energy saving while matching or beating float accuracy.");
+    println!(
+        "\nshape: even M=2 keeps ~80% energy saving while matching or beating float accuracy."
+    );
     Ok(())
 }
 

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2024,
     };
     let split = Split::generate(&spec, 12);
-    println!("dataset: {} train / {} test samples, {} classes", split.train.len(), split.test.len(), spec.classes);
+    println!(
+        "dataset: {} train / {} test samples, {} classes",
+        split.train.len(),
+        split.test.len(),
+        spec.classes
+    );
 
     // ── 2. Train the floating-point network ────────────────────────────
     let mut rng = TensorRng::seed_from(1);
@@ -41,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for epoch in 0..8 {
         let batches: Vec<_> = Batcher::new(&split.train, 32).shuffled(epoch).collect();
         let stats = train_epoch(&mut float_net, &mut sgd, batches)?;
-        println!("float epoch {epoch}: loss {:.3} acc {:.1}%", stats.mean_loss, stats.accuracy * 100.0);
+        println!(
+            "float epoch {epoch}: loss {:.3} acc {:.1}%",
+            stats.mean_loss,
+            stats.accuracy * 100.0
+        );
     }
     let test: Vec<_> = Batcher::new(&split.test, 32).iter().collect();
     let float_acc = evaluate(&mut float_net, test, 1)?.top1();
@@ -59,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run_pipeline(float_net, &split.train, &split.test, &cfg)?;
     println!("\nfine-tuning trajectory (top-1 error on test):");
     for p in &outcome.history {
-        println!("  {:?} epoch {:>2}: loss {:.3}  err {:.3}  lr {:.1e}", p.phase, p.epoch, p.train_loss, p.test_error, p.learning_rate);
+        println!(
+            "  {:?} epoch {:>2}: loss {:.3}  err {:.3}  lr {:.1e}",
+            p.phase, p.epoch, p.train_loss, p.test_error, p.learning_rate
+        );
     }
     println!(
         "\ndeployed MF-DFP accuracy (integer-only inference): {:.2}% (float was {:.2}%)",

@@ -6,9 +6,7 @@
 use mfdfp::accel::{
     design_metrics, schedule_network, AcceleratorConfig, ComponentLibrary, DmaModel, RunReport,
 };
-use mfdfp::core::{
-    calibrate, memory_report, run_pipeline, Ensemble, PipelineConfig, QuantizedNet,
-};
+use mfdfp::core::{calibrate, memory_report, run_pipeline, Ensemble, PipelineConfig, QuantizedNet};
 use mfdfp::data::{Batcher, Split, SynthSpec};
 use mfdfp::nn::{evaluate, train_epoch, zoo, Network, Phase, Sgd, SgdConfig};
 use mfdfp::tensor::TensorRng;
@@ -60,11 +58,7 @@ fn float_training_then_quantization_then_integer_inference() {
     }
     // Post-quantization (before fine-tuning) should stay within a broad
     // band of float accuracy — the starting point of Algorithm 1.
-    assert!(
-        acc.top1() > float_acc - 0.3,
-        "quantized {} vs float {float_acc}",
-        acc.top1()
-    );
+    assert!(acc.top1() > float_acc - 0.3, "quantized {} vs float {float_acc}", acc.top1());
 }
 
 #[test]
@@ -151,10 +145,8 @@ fn determinism_same_seed_same_everything() {
         eval_k: 1,
         ..PipelineConfig::paper_defaults()
     };
-    let out_a =
-        run_pipeline(trained_float(&split, 9), &split.train, &split.test, &cfg).expect("a");
-    let out_b =
-        run_pipeline(trained_float(&split, 9), &split.train, &split.test, &cfg).expect("b");
+    let out_a = run_pipeline(trained_float(&split, 9), &split.train, &split.test, &cfg).expect("a");
+    let out_b = run_pipeline(trained_float(&split, 9), &split.train, &split.test, &cfg).expect("b");
     assert_eq!(out_a.final_top1, out_b.final_top1);
     assert_eq!(out_a.history.len(), out_b.history.len());
     for (a, b) in out_a.history.iter().zip(&out_b.history) {

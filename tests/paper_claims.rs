@@ -29,16 +29,13 @@ fn table1_savings_within_one_percent_of_paper() {
 #[test]
 fn table2_times_nearly_identical_across_precisions() {
     let mut rng = TensorRng::seed_from(0);
-    for net in [
-        zoo::cifar10_full(10, &mut rng).unwrap(),
-        zoo::alexnet(1000, false, &mut rng).unwrap(),
-    ] {
+    for net in
+        [zoo::cifar10_full(10, &mut rng).unwrap(), zoo::alexnet(1000, false, &mut rng).unwrap()]
+    {
         let fp =
-            schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped)
-                .unwrap();
-        let mf =
-            schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
-                .unwrap();
+            schedule_network(&net, &AcceleratorConfig::paper_fp32(), DmaModel::Overlapped).unwrap();
+        let mf = schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
+            .unwrap();
         let gap = (fp.time_us - mf.time_us).abs() / fp.time_us;
         assert!(gap < 0.005, "time gap {gap} too large for {}", net.name());
         assert!(fp.time_us >= mf.time_us, "FP32 pipeline is deeper, must not be faster");
@@ -51,10 +48,9 @@ fn table2_times_nearly_identical_across_precisions() {
 fn table2_energy_savings_shape() {
     let lib = ComponentLibrary::calibrated_65nm();
     let mut rng = TensorRng::seed_from(0);
-    for net in [
-        zoo::cifar10_full(10, &mut rng).unwrap(),
-        zoo::alexnet(1000, false, &mut rng).unwrap(),
-    ] {
+    for net in
+        [zoo::cifar10_full(10, &mut rng).unwrap(), zoo::alexnet(1000, false, &mut rng).unwrap()]
+    {
         let fp_cfg = AcceleratorConfig::paper_fp32();
         let mf_cfg = AcceleratorConfig::paper_mf_dfp();
         let ens_cfg = AcceleratorConfig::paper_ensemble();
@@ -81,8 +77,8 @@ fn table2_energy_savings_shape() {
 fn table2_alexnet_latency_order_of_magnitude() {
     let mut rng = TensorRng::seed_from(0);
     let net = zoo::alexnet(1000, false, &mut rng).unwrap();
-    let s = schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped)
-        .unwrap();
+    let s =
+        schedule_network(&net, &AcceleratorConfig::paper_mf_dfp(), DmaModel::Overlapped).unwrap();
     assert!((5_000.0..50_000.0).contains(&s.time_us), "{} µs", s.time_us);
 }
 

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, `black_box`) on a simple
+//! calibrated-loop timer:
+//!
+//! 1. warm up for ~`WARMUP_MS`,
+//! 2. pick an iteration count targeting `CRITERION_SHIM_TIME_MS`
+//!    (default 300 ms) of measurement,
+//! 3. report the mean wall-clock time per iteration (plus throughput when
+//!    annotated).
+//!
+//! Results are printed to stdout and appended as JSON to
+//! `$CRITERION_SHIM_OUT` (when set) so CI and the repo's `BENCH_*.json`
+//! baselines can be produced without the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_MS: u64 = 60;
+const DEFAULT_MEASURE_MS: u64 = 300;
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: Option<String>,
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+/// Per-iteration timing context handed to `Bencher::iter` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measure<F: FnMut(&mut Bencher)>(mut f: F) -> (f64, u64) {
+    let measure_ms: u64 = std::env::var("CRITERION_SHIM_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MEASURE_MS);
+
+    // Warm-up / calibration: grow the iteration count until the batch takes
+    // a measurable slice of time.
+    let mut iters: u64 = 1;
+    let mut per_iter_ns;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos().max(1) as f64;
+        per_iter_ns = ns / iters as f64;
+        if b.elapsed >= Duration::from_millis(WARMUP_MS) || iters >= u64::MAX / 2 {
+            break;
+        }
+        // Aim the next batch at the warm-up budget.
+        let target_ns = (WARMUP_MS as f64) * 1e6;
+        iters =
+            ((target_ns / per_iter_ns).ceil() as u64).clamp(iters * 2, iters.saturating_mul(100));
+    }
+
+    // Measurement: a batch sized for the measurement budget.
+    let target_ns = (measure_ms as f64) * 1e6;
+    let iters = ((target_ns / per_iter_ns).ceil() as u64).max(1);
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    (b.elapsed.as_nanos().max(1) as f64 / iters as f64, iters)
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: Option<&str>,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: F,
+    ) {
+        let (ns_per_iter, iters) = measure(f);
+        let full = match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.1} Melem/s", n as f64 / ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:.1} MiB/s", n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{full:<48} time: {:>12}/iter{thrpt}", human_time(ns_per_iter));
+        self.records.push(Record {
+            group: group.map(str::to_string),
+            name: name.to_string(),
+            ns_per_iter,
+            iters,
+            throughput,
+        });
+    }
+
+    /// Measures a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(None, name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Writes collected results as JSON (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_SHIM_OUT") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let group = match &r.group {
+                Some(g) => format!("\"{g}\""),
+                None => "null".to_string(),
+            };
+            let thrpt = match r.throughput {
+                Some(Throughput::Elements(n)) => format!("{{\"elements\": {n}}}"),
+                Some(Throughput::Bytes(n)) => format!("{{\"bytes\": {n}}}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "  {{\"group\": {group}, \"name\": \"{}\", \"ns_per_iter\": {:.2}, \
+                 \"iters\": {}, \"throughput\": {thrpt}}}{}\n",
+                r.name,
+                r.ns_per_iter,
+                r.iters,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (group, throughput) = (self.name.clone(), self.throughput);
+        self.criterion.run_one(Some(&group), name, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; groups need no teardown here).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups and emitting the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        std::env::set_var("CRITERION_SHIM_TIME_MS", "20");
+        let mut c = Criterion::default();
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_records_prefix_and_throughput() {
+        std::env::set_var("CRITERION_SHIM_TIME_MS", "20");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("inner", |b| b.iter(|| black_box(3u32).pow(2)));
+            g.finish();
+        }
+        assert_eq!(c.records[0].group.as_deref(), Some("g"));
+        assert!(matches!(c.records[0].throughput, Some(Throughput::Elements(100))));
+    }
+}

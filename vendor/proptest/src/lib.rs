@@ -1,0 +1,507 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * range strategies (`-1.0f32..1.0`, `0u8..16`, `-128i32..=127`, …),
+//! * tuple strategies and [`Strategy::prop_map`],
+//! * [`collection::vec`] with a fixed size or a size range,
+//! * `num::f32::{ANY, NORMAL}`, `num::<int>::ANY`, `bool::ANY`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs left in the assertion message. Generation is
+//! deterministic per test (seeded from the test name), so failures
+//! reproduce exactly under `cargo test`.
+
+pub mod test_runner {
+    //! Execution configuration and the deterministic test RNG.
+
+    /// Subset of `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator used to drive strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from the test's name so every property has
+        /// its own reproducible stream.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $t;
+                    let v = self.start + (self.end - self.start) * unit;
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let unit = rng.unit_f64() as $t;
+                    lo + (hi - lo) * unit
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod num {
+    //! Numeric "any value" strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! int_any_module {
+        ($($m:ident / $t:ty),*) => {$(
+            pub mod $m {
+                //! Whole-domain strategy for this integer type.
+
+                use super::*;
+
+                /// Strategy generating any value of the type (uniform bits).
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Any value of the type.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_any_module!(
+        i8 / i8,
+        i16 / i16,
+        i32 / i32,
+        i64 / i64,
+        isize / isize,
+        u8 / u8,
+        u16 / u16,
+        u32 / u32,
+        u64 / u64,
+        usize / usize
+    );
+
+    macro_rules! float_any_module {
+        ($($m:ident, $t:ty, $bits:ty, $frombits:path);*) => {$(
+            pub mod $m {
+                //! Whole-domain strategies for this float type.
+
+                use super::*;
+
+                /// Any bit pattern: normals, subnormals, zeros, infinities, NaN.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Any representable value, including non-finite ones.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        $frombits(rng.next_u64() as $bits)
+                    }
+                }
+
+                /// Normal (finite, non-subnormal, non-zero) values only.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Normal;
+
+                /// Any normal value.
+                pub const NORMAL: Normal = Normal;
+
+                impl Strategy for Normal {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        loop {
+                            let v = $frombits(rng.next_u64() as $bits);
+                            if v.is_normal() {
+                                return v;
+                            }
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    float_any_module!(f32, f32, u32, f32::from_bits; f64, f64, u64, f64::from_bits);
+}
+
+pub mod bool {
+    //! Boolean strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Fair coin strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact `usize` or a half-open /
+    /// inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Mirror real proptest: the body may `return Ok(())` early
+                    // (hence the immediately-invoked closure).
+                    #[allow(clippy::redundant_closure_call)]
+                    let case: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = case {
+                        panic!("property case failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Property assertion; panics (no shrinking) with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)*) => { assert_eq!($l, $r, $($fmt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)*) => { assert_ne!($l, $r, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn int_range_in_bounds(x in -50i32..50, y in 0u8..16, z in -128i32..=127) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y < 16);
+            prop_assert!((-128..=127).contains(&z));
+        }
+
+        /// Float ranges stay in bounds.
+        #[test]
+        fn float_range_in_bounds(x in -2.0f32..2.0) {
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        /// Vec strategies respect their size specs.
+        #[test]
+        fn vec_sizes(xs in crate::collection::vec(0.0f32..1.0, 0..8),
+                     ys in crate::collection::vec(0i32..5, 3)) {
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(ys.len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0.0f64..1.0, 0i64..100);
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn normal_floats_are_normal() {
+        let mut rng = TestRng::deterministic("normal");
+        for _ in 0..256 {
+            assert!(crate::num::f32::NORMAL.generate(&mut rng).is_normal());
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let doubled = (1u32..10).prop_map(|v| v * 2);
+        let mut rng = TestRng::deterministic("map");
+        for _ in 0..32 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+}

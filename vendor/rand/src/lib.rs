@@ -1,0 +1,262 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements exactly the API surface this workspace uses — `StdRng`,
+//! [`SeedableRng::seed_from_u64`], `Uniform` over the integer/float types
+//! that appear in the code, and `SliceRandom::shuffle` — on top of a
+//! SplitMix64 generator. All randomness in the workspace flows through
+//! explicit 64-bit seeds, so statistical quality requirements are modest
+//! (the test suites check first/second moments at ~1e4 samples, which
+//! SplitMix64 passes comfortably).
+//!
+//! The stream is *stable*: values produced for a given seed are part of
+//! the workspace's reproducibility contract, like `StdRng`'s stream in
+//! real `rand 0.8`.
+
+/// Core random-number-generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience alias trait mirroring `rand::Rng`.
+pub trait Rng: RngCore {}
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Not cryptographic — a fast, well-distributed stream for seeded
+    /// experiments, standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Discard one output so nearby seeds decorrelate immediately.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (subset of `rand::distributions`).
+
+    use super::RngCore;
+
+    /// Types that can be sampled from a generator.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open (`new`) or closed
+    /// (`new_inclusive`) interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> Uniform<T> {
+        /// Uniform over `[lo, hi)`. Panics if `lo >= hi`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform { lo, hi, inclusive: false }
+        }
+
+        /// Uniform over `[lo, hi]`. Panics if `lo > hi`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+            Uniform { lo, hi, inclusive: true }
+        }
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_uniform(self.lo, self.hi, self.inclusive, rng)
+        }
+    }
+
+    /// Implementation hook for [`Uniform`].
+    pub trait SampleUniform: Sized {
+        /// Draws uniformly from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                    // Multiply-shift rejection-free mapping; the modulo bias
+                    // at 64-bit state vs <=64-bit span is < 2^-64 per draw.
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            // 24 uniform mantissa bits in [0, 1).
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            let v = lo + (hi - lo) * unit;
+            // Guard against rounding up to the open bound.
+            if !inclusive && v >= hi {
+                lo
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + (hi - lo) * unit;
+            if !inclusive && v >= hi {
+                lo
+            } else {
+                v
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice utilities (subset of `rand::seq`).
+
+    use super::distributions::{Distribution, Uniform};
+    use super::RngCore;
+
+    /// Shuffling for slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = Uniform::new_inclusive(0usize, i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let u = Uniform::new(0.0f32, 1.0);
+        for _ in 0..100 {
+            assert_eq!(u.sample(&mut a), u.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn float_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = Uniform::new(-0.25f32, 0.25);
+        for _ in 0..10_000 {
+            let v = u.sample(&mut rng);
+            assert!((-0.25..0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integer_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Uniform::new_inclusive(-5i32, 5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = u.sample(&mut rng);
+            assert!((-5..=5).contains(&v));
+            seen_lo |= v == -5;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds must be reachable");
+    }
+
+    #[test]
+    fn mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let u = Uniform::new(0.0f64, 1.0);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| u.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+}

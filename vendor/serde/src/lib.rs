@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access to crates.io, so this shim
+//! provides exactly the names the workspace imports: the `Serialize` /
+//! `Deserialize` marker traits and same-named derive macros (which expand
+//! to nothing). No code in the workspace serializes through serde — the
+//! derives only annotate types for future wire formats — so empty
+//! expansions are sufficient. Swap this path dependency for the real
+//! `serde = { version = "1", features = ["derive"] }` once the registry
+//! is reachable; no source changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
