@@ -1,0 +1,180 @@
+//! Closed-loop load generator for the `mfdfp-serve` runtime.
+//!
+//! Spawns `MFDFP_SERVE_PRODUCERS` closed-loop clients (submit → wait →
+//! submit …) against a dynamic-batching [`Server`] holding one small
+//! MF-DFP network, then reports throughput, *exact* per-request latency
+//! percentiles (the server's own histogram is bucketed; here every
+//! latency is recorded individually) and the dispatched batch-size
+//! histogram. With more than one producer the micro-batcher coalesces
+//! requests, which is the effect this harness exists to measure.
+//!
+//! ```text
+//! cargo run -p mfdfp-bench --bin serve_load --release [--features parallel]
+//! ```
+//!
+//! Environment knobs:
+//!
+//! | Variable | Default | Meaning |
+//! |----------|---------|---------|
+//! | `MFDFP_SERVE_PRODUCERS` | 4 | concurrent closed-loop clients |
+//! | `MFDFP_SERVE_REQUESTS` | 64 | requests per client |
+//! | `MFDFP_SERVE_WORKERS` | 1 | server worker threads |
+//! | `MFDFP_SERVE_MAX_BATCH` | 8 | batcher size bound |
+//! | `MFDFP_SERVE_MAX_WAIT_US` | 2000 | batcher linger bound (µs) |
+//! | `SERVE_BENCH_OUT` | unset | write a JSON report to this path |
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mfdfp_core::{calibrate, QuantizedNet};
+use mfdfp_nn::zoo;
+use mfdfp_serve::{ModelRegistry, ServeConfig, ServeError, Server};
+use mfdfp_tensor::TensorRng;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn exact_percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64
+}
+
+fn main() {
+    let producers = env_usize("MFDFP_SERVE_PRODUCERS", 4);
+    let requests = env_usize("MFDFP_SERVE_REQUESTS", 64);
+    let config = ServeConfig {
+        workers: env_usize("MFDFP_SERVE_WORKERS", 1),
+        queue_capacity: (producers * 4).max(64),
+        max_batch: env_usize("MFDFP_SERVE_MAX_BATCH", 8),
+        max_wait: Duration::from_micros(env_usize("MFDFP_SERVE_MAX_WAIT_US", 2000) as u64),
+    };
+
+    // The served model: the same small calibrated network the qnet tests
+    // use (3×16×16 input, 10 classes) — big enough that inference costs
+    // milliseconds on the integer datapath, so batching effects are real.
+    let mut rng = TensorRng::seed_from(21);
+    let mut float_net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).expect("zoo net");
+    let calib = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut float_net, &[(calib, vec![0, 1, 2, 3])], 8).expect("calibration");
+    let qnet = QuantizedNet::from_network(&float_net, &plan).expect("quantization");
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("loadgen", qnet.clone());
+    let server =
+        Arc::new(Server::start(Arc::clone(&registry), config.clone()).expect("server start"));
+
+    println!(
+        "serve_load: {} producers × {} requests, workers={}, max_batch={}, max_wait={:?}",
+        producers, requests, config.workers, config.max_batch, config.max_wait
+    );
+
+    let wall_start = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let qnet = qnet.clone();
+            std::thread::spawn(move || {
+                let mut rng = TensorRng::seed_from(1000 + p as u64);
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut verified = false;
+                for i in 0..requests {
+                    let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+                    let start = Instant::now();
+                    let ticket = loop {
+                        match server.submit("loadgen", img.clone()) {
+                            Ok(t) => break t,
+                            Err(ServeError::QueueFull { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    };
+                    let response = ticket.wait().expect("response");
+                    latencies_us.push(start.elapsed().as_micros() as u64);
+                    // Spot-check correctness once per producer: the served
+                    // logits must be byte-identical to a direct call.
+                    if i == 0 {
+                        let direct = qnet.logits(&img).expect("direct logits");
+                        assert_eq!(
+                            response.logits.as_slice().iter().map(|v| v.to_bits()).sum::<u32>(),
+                            direct.as_slice().iter().map(|v| v.to_bits()).sum::<u32>(),
+                            "served response diverged from direct inference"
+                        );
+                        verified = true;
+                    }
+                }
+                assert!(verified);
+                latencies_us
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(producers * requests);
+    for h in handles {
+        latencies_us.extend(h.join().expect("producer thread"));
+    }
+    let wall = wall_start.elapsed();
+    let snap = server.metrics();
+
+    latencies_us.sort_unstable();
+    let total = latencies_us.len() as f64;
+    let throughput = total / wall.as_secs_f64();
+    let mean_us = latencies_us.iter().sum::<u64>() as f64 / total.max(1.0);
+    let (p50, p95, p99) = (
+        exact_percentile(&latencies_us, 0.50),
+        exact_percentile(&latencies_us, 0.95),
+        exact_percentile(&latencies_us, 0.99),
+    );
+
+    println!("wall time          {:>10.3} s", wall.as_secs_f64());
+    println!("throughput         {throughput:>10.1} req/s");
+    println!("latency mean       {mean_us:>10.1} µs");
+    println!("latency p50        {p50:>10.1} µs");
+    println!("latency p95        {p95:>10.1} µs");
+    println!("latency p99        {p99:>10.1} µs");
+    println!("batch histogram    {:?} (size 1..)", snap.batch_histogram);
+    println!("largest batch      {:>10}", snap.max_batch_observed());
+    println!("rejected (retried) {:>10}", snap.rejected);
+
+    if producers > 1 && snap.max_batch_observed() < 2 {
+        eprintln!("warning: no batch >1 formed under concurrent producers");
+    }
+
+    if let Ok(path) = std::env::var("SERVE_BENCH_OUT") {
+        let hist: Vec<String> = snap.batch_histogram.iter().map(u64::to_string).collect();
+        let features: &str = if cfg!(feature = "parallel") { "[\"parallel\"]" } else { "[]" };
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"serve_load\",\"features\":{},",
+                "\"producers\":{},\"requests_per_producer\":{},",
+                "\"workers\":{},\"max_batch\":{},\"max_wait_us\":{},",
+                "\"wall_s\":{:.3},\"throughput_rps\":{:.1},",
+                "\"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
+                "\"batch_histogram\":[{}],\"largest_batch\":{},\"rejected\":{}}}\n"
+            ),
+            features,
+            producers,
+            requests,
+            config.workers,
+            config.max_batch,
+            config.max_wait.as_micros(),
+            wall.as_secs_f64(),
+            throughput,
+            mean_us,
+            p50,
+            p95,
+            p99,
+            hist.join(","),
+            snap.max_batch_observed(),
+            snap.rejected,
+        );
+        std::fs::write(&path, json).expect("write SERVE_BENCH_OUT");
+        println!("wrote {path}");
+    }
+
+    Arc::try_unwrap(server).ok().expect("all producers joined").shutdown();
+}

@@ -213,6 +213,22 @@ impl QuantizedNet {
         &self.layers
     }
 
+    /// Number of activation codes one input image must supply, derived
+    /// from the first compute layer's geometry. Shapeless layers (ReLU)
+    /// are skipped; `None` only for a stack with no Conv/Linear/Pool
+    /// layer at all, which [`QuantizedNet::from_network`] never produces.
+    ///
+    /// Serving-side admission control uses this to reject malformed
+    /// requests *before* they occupy queue capacity.
+    pub fn input_len(&self) -> Option<usize> {
+        self.layers.iter().find_map(|layer| match layer {
+            QLayer::Conv(c) => Some(c.geom.in_c * c.geom.in_h * c.geom.in_w),
+            QLayer::Linear(l) => Some(l.in_features),
+            QLayer::Pool { channels, in_h, in_w, .. } => Some(channels * in_h * in_w),
+            QLayer::Relu => None,
+        })
+    }
+
     /// Runs integer-only inference on one `C×H×W` float image: quantizes
     /// the input to codes, then shifts/adds all the way to logit codes.
     ///
@@ -220,8 +236,12 @@ impl QuantizedNet {
     ///
     /// Propagates datapath faults (overflow audits, geometry mismatches).
     pub fn forward_codes(&self, image: &Tensor) -> Result<Vec<i8>> {
+        self.forward_codes_from(image.as_slice())
+    }
+
+    fn forward_codes_from(&self, image: &[f32]) -> Result<Vec<i8>> {
         let mut codes: Vec<i8> =
-            image.as_slice().iter().map(|&x| self.input_format.quantize(x) as i8).collect();
+            image.iter().map(|&x| self.input_format.quantize(x) as i8).collect();
         for layer in &self.layers {
             codes = match layer {
                 QLayer::Conv(c) => c.run(&codes, &self.tree).map_err(CoreError::Accel)?,
@@ -246,6 +266,61 @@ impl QuantizedNet {
         Ok(codes)
     }
 
+    /// Integer-only inference over an `N×C×H×W` batch: one `Vec` of logit
+    /// codes per image, identical to calling [`QuantizedNet::forward_codes`]
+    /// image by image (with the `parallel` feature, images fan out across
+    /// OS threads — each image's datapath is untouched, so the results stay
+    /// bit-identical to the serial loop).
+    ///
+    /// This is the entry point the serving runtime's micro-batcher
+    /// dispatches coalesced requests through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults from any image (the first, in batch
+    /// order, wins).
+    pub fn forward_codes_batch(&self, batch: &Tensor) -> Result<Vec<Vec<i8>>> {
+        let n = batch.shape().dim(0);
+        let per_image: usize = batch.shape().dims()[1..].iter().product();
+        let data = batch.as_slice();
+        let images: Vec<&[f32]> =
+            (0..n).map(|s| &data[s * per_image..(s + 1) * per_image]).collect();
+        self.run_images(&images)
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn run_images(&self, images: &[&[f32]]) -> Result<Vec<Vec<i8>>> {
+        images.iter().map(|img| self.forward_codes_from(img)).collect()
+    }
+
+    /// Batch-parallel dispatch: contiguous chunks of images per worker,
+    /// joined in batch order. Falls back to the serial loop when only one
+    /// thread is available or the batch is a single image.
+    #[cfg(feature = "parallel")]
+    fn run_images(&self, images: &[&[f32]]) -> Result<Vec<Vec<i8>>> {
+        let workers = mfdfp_tensor::par::threads().min(images.len());
+        if workers < 2 {
+            return images.iter().map(|img| self.forward_codes_from(img)).collect();
+        }
+        let chunk = images.len().div_ceil(workers);
+        let chunk_results: Vec<Result<Vec<Vec<i8>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = images
+                .chunks(chunk)
+                .map(|imgs| {
+                    scope.spawn(move || {
+                        imgs.iter().map(|img| self.forward_codes_from(img)).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("inference worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(images.len());
+        for r in chunk_results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
     /// Dequantized logits for one image.
     ///
     /// # Errors
@@ -265,11 +340,14 @@ impl QuantizedNet {
     /// Propagates datapath faults.
     pub fn logits_batch(&self, batch: &Tensor) -> Result<Tensor> {
         let n = batch.shape().dim(0);
+        let all_codes = self.forward_codes_batch(batch)?;
         let mut out = Tensor::zeros(Shape::d2(n, self.classes));
-        for s in 0..n {
-            let img = batch.index_axis0(s);
-            let logits = self.logits(&img)?;
-            out.set_axis0(s, &logits);
+        let buf = out.as_mut_slice();
+        for (s, codes) in all_codes.iter().enumerate() {
+            assert_eq!(codes.len(), self.classes, "logit count mismatch");
+            for (j, &c) in codes.iter().enumerate() {
+                buf[s * self.classes + j] = self.output_format.dequantize(c as i32);
+            }
         }
         Ok(out)
     }

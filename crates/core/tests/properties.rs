@@ -121,6 +121,36 @@ proptest! {
         prop_assert_eq!(q.forward_codes(&img).unwrap(), back.forward_codes(&img).unwrap());
     }
 
+    /// The batched quantized forward is bit-equivalent to the per-image
+    /// path, for arbitrary weights, inputs and batch sizes — the invariant
+    /// the serving runtime's micro-batcher relies on to return responses
+    /// byte-identical to unbatched `logits` calls.
+    #[test]
+    fn batched_forward_matches_per_image(
+        w1 in proptest::collection::vec(-0.9f32..0.9, 32),
+        w2 in proptest::collection::vec(-0.9f32..0.9, 24),
+        xs in proptest::collection::vec(-1.0f32..1.0, 4..=28),
+    ) {
+        let mut net = mlp_with_weights(&w1, &w2);
+        let calib = Tensor::from_vec(vec![0.5; 8], Shape::d2(2, 4)).unwrap();
+        let plan = calibrate(&mut net, &[(calib, vec![0, 1])], 8).unwrap();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let n = xs.len() / 4;
+        let batch = Tensor::from_vec(xs[..n * 4].to_vec(), Shape::d2(n, 4)).unwrap();
+        let batched = q.forward_codes_batch(&batch).unwrap();
+        prop_assert_eq!(batched.len(), n);
+        let batched_logits = q.logits_batch(&batch).unwrap();
+        for (s, batched_codes) in batched.iter().enumerate() {
+            let img = batch.index_axis0(s);
+            let single = q.forward_codes(&img).unwrap();
+            prop_assert_eq!(batched_codes, &single, "codes diverge at image {}", s);
+            // Dequantized logits must match bit-for-bit as well.
+            let row = batched_logits.index_axis0(s);
+            let direct = q.logits(&img).unwrap();
+            prop_assert_eq!(row.as_slice(), direct.as_slice());
+        }
+    }
+
     /// Quantization never introduces NaN/∞ into the working network.
     #[test]
     fn quantization_keeps_values_finite(

@@ -85,6 +85,41 @@ proptest! {
         prop_assert_eq!(back, qs);
     }
 
+    /// Odd-count nibble packing: the final byte's high nibble is the zero
+    /// pad, the round trip is exact, and boundary exponents (±2^0, ±2^−7 —
+    /// the extreme 4-bit codes) survive packing at every position,
+    /// including the odd tail.
+    #[test]
+    fn nibble_pack_odd_counts_and_boundary_exponents(
+        halves in proptest::collection::vec(0usize..4, 0..32),
+        tail in 0usize..4,
+    ) {
+        // Draw weights only from the boundary corners of the code space:
+        // sign × {EXP_MAX, EXP_MIN}.
+        let corner = |i: usize| {
+            let sign = if i & 1 == 0 { mfdfp_dfp::Sign::Plus } else { mfdfp_dfp::Sign::Minus };
+            let exp = if i & 2 == 0 { EXP_MAX } else { EXP_MIN };
+            Pow2Weight::new(sign, exp).unwrap()
+        };
+        let mut qs: Vec<Pow2Weight> = halves.iter().map(|&i| corner(i)).collect();
+        if qs.len().is_multiple_of(2) {
+            qs.push(corner(tail)); // force an odd count
+        }
+        prop_assert_eq!(qs.len() % 2, 1);
+        let packed = pack_nibbles(&qs);
+        prop_assert_eq!(packed.len(), qs.len() / 2 + 1);
+        // The pad nibble must be zero so deployment images are
+        // deterministic byte-for-byte.
+        prop_assert_eq!(packed[packed.len() - 1] >> 4, 0);
+        let back = unpack_nibbles(&packed, qs.len()).unwrap();
+        prop_assert_eq!(back, qs);
+        // Asking for one more weight than was packed reads the pad nibble
+        // (code 0 ⇒ +2^0), never out of bounds; one past capacity errors.
+        let over = unpack_nibbles(&packed, qs.len() + 1).unwrap();
+        prop_assert_eq!(over[qs.len()], Pow2Weight::new(mfdfp_dfp::Sign::Plus, 0).unwrap());
+        prop_assert!(unpack_nibbles(&packed, packed.len() * 2 + 1).is_err());
+    }
+
     /// The adder tree computes the exact integer sum for any products that
     /// fit the 16-bit product register.
     #[test]

@@ -1,0 +1,79 @@
+//! Serving runtime tuning knobs.
+
+use std::time::Duration;
+
+use crate::error::{Result, ServeError};
+
+/// Configuration for a [`crate::Server`].
+///
+/// The two batching knobs trade latency for throughput exactly like the
+/// dynamic batchers in production serving stacks: a worker that pops a
+/// request keeps the batch open until it holds `max_batch` requests or
+/// `max_wait` has elapsed since the pop, whichever comes first. A batch
+/// dispatches through `logits_batch`, which (with the `parallel` feature)
+/// fans images out across the PR-1 threaded GEMM/conv path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue (each dispatches whole batches).
+    pub workers: usize,
+    /// Bounded request-queue capacity; submissions beyond it are rejected
+    /// with [`ServeError::QueueFull`] (admission control).
+    pub queue_capacity: usize,
+    /// Largest batch a worker will coalesce before dispatching.
+    pub max_batch: usize,
+    /// How long a worker holds an open batch waiting for more requests.
+    pub max_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch: 16,
+            max_wait: Duration::from_micros(2000),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero workers, zero capacity
+    /// or a zero batch bound.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig("workers must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::BadConfig("queue_capacity must be at least 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::BadConfig("max_batch must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_knobs_rejected() {
+        for cfg in [
+            ServeConfig { workers: 0, ..Default::default() },
+            ServeConfig { queue_capacity: 0, ..Default::default() },
+            ServeConfig { max_batch: 0, ..Default::default() },
+        ] {
+            assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
+        }
+    }
+}

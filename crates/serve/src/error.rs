@@ -1,0 +1,85 @@
+//! Error type for the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use mfdfp_core::CoreError;
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request queue is at capacity; the request was rejected at
+    /// admission (backpressure). Clients should retry after a delay.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shut down (or shutting down) and accepts no new work.
+    Closed,
+    /// No model with the requested name is registered.
+    UnknownModel(String),
+    /// The request's input element count does not match the model.
+    BadInput {
+        /// The model the request addressed.
+        model: String,
+        /// Elements the model's first layer expects.
+        expected: usize,
+        /// Elements the request supplied.
+        actual: usize,
+    },
+    /// Invalid server configuration.
+    BadConfig(String),
+    /// The quantized datapath faulted while serving the request.
+    Inference(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::UnknownModel(name) => write!(f, "no model named {name:?} is registered"),
+            ServeError::BadInput { model, expected, actual } => {
+                write!(f, "model {model:?} expects {expected} input elements, got {actual}")
+            }
+            ServeError::BadConfig(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+/// Convenience alias for serving results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        assert!(Error::source(&e).is_none());
+        let inf = ServeError::from(CoreError::BadConfig("x".into()));
+        assert!(inf.to_string().contains("inference failed"));
+        assert!(Error::source(&inf).is_some());
+        assert!(ServeError::UnknownModel("m".into()).to_string().contains("\"m\""));
+    }
+}

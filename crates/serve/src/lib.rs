@@ -1,0 +1,61 @@
+//! # mfdfp-serve — dynamic-batching inference serving for MF-DFP networks
+//!
+//! The paper's end product is an accelerator that answers classification
+//! queries with multiplier-free shift/add arithmetic; this crate is the
+//! software layer that turns *concurrent request traffic* into efficient
+//! *batched* work for that datapath — the role tract/burn-style serving
+//! stacks play above their kernel layers. `std`-only, like the rest of the
+//! workspace.
+//!
+//! Pipeline:
+//!
+//! 1. **Admission control** — [`Server::submit`] resolves the model in the
+//!    [`ModelRegistry`], validates the input size, and enqueues into a
+//!    bounded MPMC queue; a full queue rejects immediately
+//!    ([`ServeError::QueueFull`]) so overload surfaces as backpressure,
+//!    not unbounded memory.
+//! 2. **Micro-batching** — worker threads pop a request and linger up to
+//!    [`ServeConfig::max_wait`] to coalesce up to
+//!    [`ServeConfig::max_batch`] requests, then dispatch the batch through
+//!    `QuantizedNet::logits_batch` / `Ensemble::logits_batch` (with the
+//!    `parallel` feature, the batch fans out across the threaded
+//!    GEMM/conv path).
+//! 3. **Telemetry** — [`ServerMetrics`] tracks throughput, latency
+//!    percentiles, queue depth and the batch-size histogram;
+//!    [`MetricsSnapshot::to_json`] exports it.
+//!
+//! Batching changes *when* images are evaluated, never *what* they
+//! evaluate to: responses are byte-identical to direct `logits` calls
+//! (property-tested in `mfdfp-core`, asserted end-to-end in this crate's
+//! tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mfdfp_serve::{ModelRegistry, ServeConfig, Server};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! // registry.register("cifar10", quantized_net);
+//! let server = Server::start(registry, ServeConfig::default())?;
+//! // let ticket = server.submit("cifar10", image)?;
+//! // let response = ticket.wait()?;
+//! server.shutdown();
+//! # Ok::<(), mfdfp_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod metrics;
+mod queue;
+mod registry;
+mod server;
+
+pub use config::ServeConfig;
+pub use error::{Result, ServeError};
+pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use queue::{BoundedQueue, PushRejection};
+pub use registry::{ModelRegistry, ServedModel};
+pub use server::{Response, Server, Ticket};

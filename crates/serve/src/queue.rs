@@ -1,0 +1,224 @@
+//! Bounded multi-producer/multi-consumer request queue.
+//!
+//! `std`-only (Mutex + Condvar): producers never block — a full queue
+//! rejects the push so admission control can surface backpressure to the
+//! client immediately — while consumers block, batch-aware: a consumer
+//! pops one item and then *lingers* up to a deadline to coalesce more,
+//! which is the heart of the micro-batcher.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRejection {
+    /// The queue held `capacity` items.
+    Full,
+    /// The queue was closed.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with non-blocking producers and batch-popping
+/// consumers.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue without blocking; on rejection the item is
+    /// handed back alongside the reason.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRejection::Full`] at capacity, [`PushRejection::Closed`]
+    /// after [`BoundedQueue::close`].
+    #[allow(clippy::result_large_err)] // rejection intentionally returns the item
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushRejection)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((item, PushRejection::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushRejection::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops a batch: blocks until at least one item is available (or the
+    /// queue is closed *and* drained, returning `None`), then keeps
+    /// coalescing until the batch holds `max` items or `max_wait` has
+    /// elapsed since the first pop.
+    ///
+    /// After `close()`, queued items keep being returned until the queue
+    /// drains — shutdown is graceful, not lossy.
+    pub fn pop_batch(&self, max: usize, max_wait: Duration) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+        let mut batch = Vec::with_capacity(max.min(inner.items.len()));
+        let deadline = Instant::now() + max_wait;
+        loop {
+            while batch.len() < max {
+                match inner.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) =
+                self.not_empty.wait_timeout(inner, deadline - now).expect("queue poisoned");
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                break;
+            }
+        }
+        // Items may remain (batch clipped at `max`): pass the baton so
+        // sibling consumers do not sleep on a non-empty queue.
+        if !inner.items.is_empty() {
+            drop(inner);
+            self.not_empty.notify_one();
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue: producers are rejected from now on, consumers
+    /// drain what remains and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_when_closed() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let (item, why) = q.try_push(3).unwrap_err();
+        assert_eq!((item, why), (3, PushRejection::Full));
+        assert_eq!(q.len(), 2);
+        q.close();
+        let (_, why) = q.try_push(4).unwrap_err();
+        assert_eq!(why, PushRejection::Closed);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4, Duration::ZERO), Some(vec![7]));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4, Duration::from_millis(1)));
+        // The consumer may or may not have parked yet; the push must wake
+        // it either way.
+        std::thread::sleep(Duration::from_millis(5));
+        q.try_push(42).unwrap();
+        let got = consumer.join().unwrap().unwrap();
+        assert!(got.contains(&42));
+    }
+
+    #[test]
+    fn lingering_consumer_picks_up_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            q2.try_push(2).unwrap();
+        });
+        // Generous linger so the late push lands within the window even on
+        // a loaded single-CPU host.
+        let batch = q.pop_batch(2, Duration::from_secs(5)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<i32>::new(0);
+    }
+}

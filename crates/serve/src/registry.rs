@@ -1,0 +1,151 @@
+//! Named model storage shared between submitters and workers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use mfdfp_core::{CoreError, Ensemble, QuantizedNet};
+use mfdfp_tensor::Tensor;
+
+use crate::error::{Result, ServeError};
+
+/// A deployable inference target: a single quantized network or a
+/// logit-averaged ensemble (the paper's Phase 3 deployment).
+///
+/// Cloning is cheap (`Arc`); workers hold the clone resolved at admission,
+/// so re-registering a name mid-flight never changes in-flight requests.
+#[derive(Debug, Clone)]
+pub enum ServedModel {
+    /// One MF-DFP network.
+    Single(Arc<QuantizedNet>),
+    /// An ensemble of MF-DFP networks.
+    Ensemble(Arc<Ensemble>),
+}
+
+impl ServedModel {
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            ServedModel::Single(net) => net.classes(),
+            ServedModel::Ensemble(e) => e.classes(),
+        }
+    }
+
+    /// Expected input element count per image, when derivable from the
+    /// first compute layer.
+    pub fn input_len(&self) -> Option<usize> {
+        match self {
+            ServedModel::Single(net) => net.input_len(),
+            ServedModel::Ensemble(e) => e.members().first().and_then(QuantizedNet::input_len),
+        }
+    }
+
+    /// Dequantized logits for an `N×…` batch (`N×classes`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults.
+    pub fn logits_batch(&self, batch: &Tensor) -> std::result::Result<Tensor, CoreError> {
+        match self {
+            ServedModel::Single(net) => net.logits_batch(batch),
+            ServedModel::Ensemble(e) => e.logits_batch(batch),
+        }
+    }
+
+    /// Stable identity of the underlying allocation — used to group
+    /// batched requests so two models that happen to share a name (one
+    /// re-registered mid-flight) are never mixed into one batch.
+    pub(crate) fn identity(&self) -> usize {
+        match self {
+            ServedModel::Single(net) => Arc::as_ptr(net) as usize,
+            ServedModel::Ensemble(e) => Arc::as_ptr(e) as usize,
+        }
+    }
+}
+
+impl From<QuantizedNet> for ServedModel {
+    fn from(net: QuantizedNet) -> Self {
+        ServedModel::Single(Arc::new(net))
+    }
+}
+
+impl From<Ensemble> for ServedModel {
+    fn from(e: Ensemble) -> Self {
+        ServedModel::Ensemble(Arc::new(e))
+    }
+}
+
+/// A concurrent name → model map.
+///
+/// Reads (every request admission) take a shared lock; writes
+/// (register/remove, rare) take it exclusively.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, ServedModel>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a model under `name`. Accepts a
+    /// [`QuantizedNet`], an [`Ensemble`] or an existing [`ServedModel`].
+    /// Returns the previous occupant, if any.
+    pub fn register(&self, name: &str, model: impl Into<ServedModel>) -> Option<ServedModel> {
+        self.models.write().expect("registry poisoned").insert(name.to_string(), model.into())
+    }
+
+    /// Looks up a model by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when absent.
+    pub fn get(&self, name: &str) -> Result<ServedModel> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Removes a model; in-flight requests that already resolved it keep
+    /// their `Arc` and finish normally. Returns whether the name existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models.write().expect("registry poisoned").remove(name).is_some()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.models.read().expect("registry poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry poisoned").len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_model_errors() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(matches!(reg.get("nope"), Err(ServeError::UnknownModel(n)) if n == "nope"));
+    }
+
+    // Registration/lookup against real QuantizedNets is exercised in
+    // tests/serving.rs, which builds tiny calibrated networks.
+}

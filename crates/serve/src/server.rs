@@ -1,0 +1,260 @@
+//! The serving runtime: admission control → bounded queue → micro-batcher
+//! worker pool → batched integer inference → per-request responses.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mfdfp_tensor::{Shape, Tensor};
+
+use crate::config::ServeConfig;
+use crate::error::{Result, ServeError};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::queue::{BoundedQueue, PushRejection};
+use crate::registry::{ModelRegistry, ServedModel};
+
+/// A finished inference answer.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Name of the model that served the request.
+    pub model: String,
+    /// Dequantized logits (`classes` values) — byte-identical to a direct
+    /// [`mfdfp_core::QuantizedNet::logits`] call on the same input.
+    pub logits: Tensor,
+    /// `argmax` of the logits: the predicted class.
+    pub class: usize,
+    /// Size of the coalesced batch this request was dispatched in.
+    pub batch_size: usize,
+    /// End-to-end latency: admission to response (queue wait + inference).
+    pub latency: std::time::Duration,
+}
+
+/// A claim on a response that has not necessarily been computed yet.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response>>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving/inference errors; [`ServeError::Closed`] if the
+    /// server was torn down before answering.
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// One queued unit of work. The model is resolved at admission so workers
+/// skip the registry and removal cannot strand in-flight requests.
+struct Request {
+    model_name: String,
+    model: ServedModel,
+    image: Tensor,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<Response>>,
+}
+
+/// A multi-threaded dynamic-batching inference server over a
+/// [`ModelRegistry`].
+///
+/// Lifecycle: [`Server::start`] spawns the worker pool; [`Server::submit`]
+/// performs admission control and enqueues; workers coalesce requests into
+/// batches (bounded by `max_batch` / `max_wait`) and dispatch them through
+/// the batched integer datapath; [`Server::shutdown`] (or drop) closes the
+/// queue, drains it and joins the workers.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    queue: Arc<BoundedQueue<Request>>,
+    metrics: Arc<ServerMetrics>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Validates `config` and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for invalid knobs.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Server> {
+        config.validate()?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let metrics = Arc::new(ServerMetrics::new(config.max_batch));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("mfdfp-serve-{i}"))
+                    .spawn(move || worker_loop(&queue, &metrics, &cfg))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        Ok(Server { registry, queue, metrics, workers, config })
+    }
+
+    /// Admits one inference request for `model` on a single image tensor
+    /// (`C×H×W`, or flat features for MLPs).
+    ///
+    /// Admission control runs *before* the queue: unknown models and
+    /// wrong-sized inputs are rejected without consuming capacity; a full
+    /// queue rejects with [`ServeError::QueueFull`] (backpressure — the
+    /// caller decides whether to retry, shed or block).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::BadInput`],
+    /// [`ServeError::QueueFull`] or [`ServeError::Closed`].
+    pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket> {
+        let resolved = self.registry.get(model)?;
+        if let Some(expected) = resolved.input_len() {
+            if image.len() != expected {
+                return Err(ServeError::BadInput {
+                    model: model.to_string(),
+                    expected,
+                    actual: image.len(),
+                });
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            model_name: model.to_string(),
+            model: resolved,
+            image,
+            submitted: Instant::now(),
+            tx,
+        };
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.metrics.record_submitted();
+                Ok(Ticket { rx })
+            }
+            Err((_, PushRejection::Full)) => {
+                self.metrics.record_rejected();
+                Err(ServeError::QueueFull { capacity: self.queue.capacity() })
+            }
+            Err((_, PushRejection::Closed)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// The registry this server draws models from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// A point-in-time metrics view (including current queue depth).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.queue.len())
+    }
+
+    /// Stops admissions, drains queued requests and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Drains the queue until close-and-empty: pops coalesced batches, groups
+/// them per model, dispatches each group through the batched quantized
+/// forward, scatters responses.
+fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
+    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+        for group in partition_by_model(batch) {
+            dispatch_group(group, metrics);
+        }
+    }
+}
+
+/// Splits a popped batch into per-model groups, preserving arrival order
+/// within each group. Grouping keys on the resolved model's allocation
+/// identity (not its name, so a name re-registered mid-queue never mixes
+/// two different networks into one batch) *and* the image element count,
+/// so two same-length-checked but differently-sized inputs — possible
+/// when a model exposes no `input_len` — can never misalign one batch.
+fn partition_by_model(batch: Vec<Request>) -> Vec<Vec<Request>> {
+    let mut groups: Vec<((usize, usize), Vec<Request>)> = Vec::new();
+    for request in batch {
+        let key = (request.model.identity(), request.image.len());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(request),
+            None => groups.push((key, vec![request])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Runs one same-model group as a single batched inference and answers
+/// every member. Inference faults fan the error out to the whole group.
+///
+/// The batch is assembled flat (`N×len` — the integer datapath reads raw
+/// element slices, so per-image shape is irrelevant): requests that were
+/// admitted with equal element counts but different shapes, e.g. `[768]`
+/// next to `[3,16,16]`, batch together instead of poisoning each other.
+fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
+    metrics.record_batch(group.len());
+    let model = group[0].model.clone();
+    let batch_size = group.len();
+    let per_image = group[0].image.len();
+    let mut data = Vec::with_capacity(batch_size * per_image);
+    let mut meta = Vec::with_capacity(batch_size);
+    for request in group {
+        data.extend_from_slice(request.image.as_slice());
+        meta.push((request.model_name, request.submitted, request.tx));
+    }
+    let stacked = Tensor::from_vec(data, Shape::d2(batch_size, per_image))
+        .expect("group images share a length by partition key");
+    match model.logits_batch(&stacked) {
+        Ok(logits) => {
+            let rows = logits.unstack_axis0();
+            for ((model_name, submitted, tx), row) in meta.into_iter().zip(rows) {
+                let response = Response {
+                    model: model_name,
+                    class: row.argmax(),
+                    logits: row,
+                    batch_size,
+                    latency: submitted.elapsed(),
+                };
+                metrics.record_completed(response.latency);
+                // A dropped Ticket is not an error; the work is done.
+                let _ = tx.send(Ok(response));
+            }
+        }
+        Err(e) => {
+            let err = ServeError::Inference(e);
+            fan_out_error(&meta, &err);
+            for _ in 0..batch_size {
+                metrics.record_failed();
+            }
+        }
+    }
+}
+
+type RequestMeta = (String, Instant, mpsc::Sender<Result<Response>>);
+
+fn fan_out_error(meta: &[RequestMeta], err: &ServeError) {
+    for (_, _, tx) in meta {
+        let _ = tx.send(Err(err.clone()));
+    }
+}

@@ -1,0 +1,303 @@
+//! End-to-end tests of the serving runtime against real quantized
+//! networks: correctness (responses byte-identical to direct `logits`
+//! calls), backpressure (queue-full rejection), and dynamic batching
+//! (batches > 1 under concurrent producers).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mfdfp_core::{calibrate, Ensemble, QuantizedNet};
+use mfdfp_nn::zoo;
+use mfdfp_serve::{ModelRegistry, ServeConfig, ServeError, Server};
+use mfdfp_tensor::{Tensor, TensorRng};
+
+/// A small calibrated MF-DFP network (3×16×16 input, 10 classes).
+fn tiny_qnet(seed: u64) -> QuantizedNet {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+    let x = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(x, vec![0, 1, 2, 3])], 8).unwrap();
+    QuantizedNet::from_network(&net, &plan).unwrap()
+}
+
+/// Deterministic pseudo-random test images (`C×H×W` each).
+fn images(count: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed_from(seed);
+    (0..count).map(|_| rng.gaussian([3, 16, 16], 0.0, 0.7)).collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn smoke_sequential_requests_match_direct_logits() {
+    let q = tiny_qnet(21);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q.clone());
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig { workers: 1, queue_capacity: 32, ..Default::default() },
+    )
+    .unwrap();
+
+    let imgs = images(12, 7);
+    for img in &imgs {
+        let ticket = server.submit("tiny", img.clone()).unwrap();
+        let response = ticket.wait().unwrap();
+        let direct = q.logits(img).unwrap();
+        assert_eq!(bits(&response.logits), bits(&direct), "served logits differ from direct");
+        assert_eq!(response.class, direct.argmax());
+        assert_eq!(response.model, "tiny");
+        assert!(response.batch_size >= 1);
+    }
+
+    let snap = server.metrics();
+    assert_eq!(snap.submitted, 12);
+    assert_eq!(snap.completed, 12);
+    assert_eq!(snap.rejected, 0);
+    assert_eq!(snap.failed, 0);
+    // Closed-loop single client ⇒ every batch had exactly one request.
+    assert_eq!(snap.batch_histogram[0], 12);
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_bad_requests() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", tiny_qnet(3));
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default()).unwrap();
+
+    // Unknown model.
+    let img = images(1, 1).pop().unwrap();
+    assert!(matches!(
+        server.submit("nope", img.clone()),
+        Err(ServeError::UnknownModel(n)) if n == "nope"
+    ));
+    // Wrong input size (the model wants 3·16·16 = 768 elements).
+    let bad = Tensor::zeros([3, 8, 8]);
+    assert!(matches!(
+        server.submit("tiny", bad),
+        Err(ServeError::BadInput { expected: 768, actual: 192, .. })
+    ));
+    // Neither consumed queue capacity or counted as submitted.
+    let snap = server.metrics();
+    assert_eq!(snap.submitted, 0);
+    assert_eq!(snap.queue_depth, 0);
+
+    // Submitting after shutdown reports Closed.
+    let server2 = Server::start(registry, ServeConfig::default()).unwrap();
+    let registry2 = Arc::clone(server2.registry());
+    server2.shutdown();
+    drop(registry2);
+}
+
+#[test]
+fn queue_full_rejection_under_burst() {
+    let q = tiny_qnet(5);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q.clone());
+    // Tiny queue, single worker, no batching: the worker serves at
+    // millisecond pace while the burst below submits in microseconds, so
+    // the queue must overflow deterministically.
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig { workers: 1, queue_capacity: 4, max_batch: 1, max_wait: Duration::ZERO },
+    )
+    .unwrap();
+
+    let imgs = images(40, 13);
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for img in &imgs {
+        match server.submit("tiny", img.clone()) {
+            Ok(t) => tickets.push((t, img)),
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 4);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(rejected > 0, "burst of 40 into capacity 4 must reject");
+    // Every accepted request still completes, correctly.
+    let accepted = tickets.len() as u64;
+    for (ticket, img) in tickets {
+        let response = ticket.wait().unwrap();
+        let direct = q.logits(img).unwrap();
+        assert_eq!(bits(&response.logits), bits(&direct));
+    }
+    let snap = server.metrics();
+    assert_eq!(snap.rejected, rejected);
+    assert_eq!(snap.submitted, accepted);
+    assert_eq!(snap.completed, accepted);
+    assert_eq!(snap.submitted + snap.rejected, 40);
+    server.shutdown();
+}
+
+/// The headline acceptance test: ≥4 concurrent producers, the batcher
+/// must form batches larger than one (observed via the batch-size
+/// histogram) and every response must be byte-identical to a direct
+/// `QuantizedNet::logits` call on the same input.
+#[test]
+fn concurrent_producers_form_batches_with_identical_results() {
+    let q = tiny_qnet(11);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q.clone());
+    let server = Arc::new(
+        Server::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 128,
+                max_batch: 8,
+                max_wait: Duration::from_millis(20),
+            },
+        )
+        .unwrap(),
+    );
+
+    const PRODUCERS: usize = 4;
+    const BURSTS: usize = 2;
+    const BURST: usize = 8;
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let imgs = images(BURSTS * BURST, 100 + p as u64);
+                for burst in imgs.chunks(BURST) {
+                    // Open-loop burst: enqueue the whole burst before
+                    // waiting, so the queue genuinely holds concurrent
+                    // work; retry (bounded) on backpressure.
+                    let mut tickets = Vec::new();
+                    for img in burst {
+                        loop {
+                            match server.submit("tiny", img.clone()) {
+                                Ok(t) => break tickets.push((t, img)),
+                                Err(ServeError::QueueFull { .. }) => {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                Err(e) => panic!("unexpected error {e}"),
+                            }
+                        }
+                    }
+                    for (ticket, img) in tickets {
+                        let response = ticket.wait().unwrap();
+                        let direct = q.logits(img).unwrap();
+                        assert_eq!(
+                            bits(&response.logits),
+                            bits(&direct),
+                            "batched response differs from direct logits"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = server.metrics();
+    let total = (PRODUCERS * BURSTS * BURST) as u64;
+    assert_eq!(snap.completed, total);
+    assert_eq!(snap.failed, 0);
+    // The batcher must have coalesced: some batch larger than one request,
+    // visible in the batch-size histogram.
+    assert!(
+        snap.max_batch_observed() >= 2,
+        "no batch >1 formed: histogram {:?}",
+        snap.batch_histogram
+    );
+    // Histogram accounting: dispatched request count equals completions.
+    let dispatched: u64 =
+        snap.batch_histogram.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+    assert_eq!(dispatched, total);
+    assert!(snap.p50_latency_us > 0.0 && snap.p99_latency_us >= snap.p50_latency_us);
+    assert!(snap.throughput_rps > 0.0);
+    let json = snap.to_json();
+    assert!(json.contains("\"batch_histogram\""));
+}
+
+/// Two requests with equal element counts but different shapes (`[768]`
+/// vs `[3,16,16]`) must coalesce into one batch safely — the datapath
+/// reads flat element slices, so shape must never poison a batch.
+#[test]
+fn mixed_shapes_with_equal_len_batch_safely() {
+    let q = tiny_qnet(41);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q.clone());
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 4,
+            max_wait: Duration::from_millis(20),
+        },
+    )
+    .unwrap();
+
+    let img = images(1, 19).pop().unwrap();
+    let flat = img.reshape([768]).unwrap();
+    // Open burst: both sit in the queue together, so the batcher will
+    // coalesce them (and must not trip on the shape difference).
+    let t1 = server.submit("tiny", img.clone()).unwrap();
+    let t2 = server.submit("tiny", flat.clone()).unwrap();
+    let direct = q.logits(&img).unwrap();
+    for ticket in [t1, t2] {
+        let response = ticket.wait().unwrap();
+        assert_eq!(bits(&response.logits), bits(&direct));
+    }
+    let snap = server.metrics();
+    assert_eq!(snap.completed, 2);
+    assert_eq!(snap.failed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn ensemble_and_multi_model_serving() {
+    let a = tiny_qnet(31);
+    let b = tiny_qnet(32);
+    let ensemble = Ensemble::new(vec![a.clone(), b.clone()]).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("a", a.clone());
+    registry.register("duo", ensemble.clone());
+    assert_eq!(registry.names(), vec!["a".to_string(), "duo".to_string()]);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+        },
+    )
+    .unwrap();
+
+    let imgs = images(6, 77);
+    let tickets: Vec<_> = imgs
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let name = if i % 2 == 0 { "a" } else { "duo" };
+            (name, img, server.submit(name, img.clone()).unwrap())
+        })
+        .collect();
+    for (name, img, ticket) in tickets {
+        let response = ticket.wait().unwrap();
+        let direct = if name == "a" {
+            a.logits(img).unwrap()
+        } else {
+            let batch = Tensor::stack_axis0(std::slice::from_ref(img)).unwrap();
+            ensemble.logits_batch(&batch).unwrap().index_axis0(0)
+        };
+        assert_eq!(bits(&response.logits), bits(&direct), "model {name}");
+    }
+    // Removing a model stops new admissions but the registry handed to the
+    // server stays shared.
+    assert!(registry.remove("a"));
+    assert!(matches!(server.submit("a", imgs[0].clone()), Err(ServeError::UnknownModel(_))));
+    server.shutdown();
+}

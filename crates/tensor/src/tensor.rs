@@ -276,6 +276,45 @@ impl Tensor {
         Tensor { shape: Shape::new(dims), data }
     }
 
+    /// Stacks same-shaped tensors along a new leading axis: `k` tensors of
+    /// shape `d…` become one tensor of shape `k×d…`. This is the batch
+    /// assembly primitive the serving runtime uses to coalesce queued
+    /// single-image requests into one `N×C×H×W` inference batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] for an empty item list and
+    /// [`TensorError::ShapeMismatch`] when items disagree on shape.
+    pub fn stack_axis0(items: &[Tensor]) -> Result<Tensor> {
+        let Some(first) = items.first() else {
+            return Err(TensorError::DataLength { expected: 1, actual: 0 });
+        };
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            if item.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.clone(),
+                    right: item.shape.clone(),
+                    op: "stack_axis0",
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = Vec::with_capacity(first.shape.rank() + 1);
+        dims.push(items.len());
+        dims.extend_from_slice(first.shape.dims());
+        Ok(Tensor { shape: Shape::new(dims), data })
+    }
+
+    /// Splits along axis 0 into its slices (inverse of
+    /// [`Tensor::stack_axis0`] up to the leading unit axis): an `N×d…`
+    /// tensor becomes `N` tensors of shape `d…`. The serving runtime uses
+    /// this to scatter a batched logits matrix back into per-request
+    /// responses.
+    pub fn unstack_axis0(&self) -> Vec<Tensor> {
+        (0..self.shape.dim(0)).map(|n| self.index_axis0(n)).collect()
+    }
+
     /// Writes `src` into the `n`-th slice along axis 0.
     ///
     /// # Panics
@@ -463,6 +502,32 @@ mod tests {
         t2.set_axis0(1, &row1);
         assert_eq!(t2.at(&[1, 2]), 6.0);
         assert_eq!(t2.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn stack_axis0_builds_batches() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], Shape::d2(1, 2)).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], Shape::d2(1, 2)).unwrap();
+        let batch = Tensor::stack_axis0(&[a.clone(), b]).unwrap();
+        assert_eq!(batch.shape().dims(), &[2, 1, 2]);
+        assert_eq!(batch.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // Errors: empty list, mismatched shapes.
+        assert!(Tensor::stack_axis0(&[]).is_err());
+        let c = Tensor::from_slice(&[9.0]);
+        assert!(Tensor::stack_axis0(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn unstack_inverts_stack() {
+        let items: Vec<Tensor> =
+            (0..3).map(|i| Tensor::from_fn([2, 2], |j| (i * 4 + j) as f32)).collect();
+        let batch = Tensor::stack_axis0(&items).unwrap();
+        let back = batch.unstack_axis0();
+        assert_eq!(back.len(), 3);
+        for (orig, got) in items.iter().zip(&back) {
+            assert_eq!(orig.as_slice(), got.as_slice());
+            assert_eq!(orig.shape(), got.shape());
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   power, energy) and its FP32 baseline.
 //! * [`core`] — the paper's pipeline: quantization, Phase 1–3 fine-tuning,
 //!   ensembles, integer-only inference.
+//! * [`serve`] — dynamic-batching serving runtime: model registry, bounded
+//!   request queue with backpressure, micro-batcher worker pool, metrics.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the experiment
 //! index.
@@ -23,4 +25,5 @@ pub use mfdfp_core as core;
 pub use mfdfp_data as data;
 pub use mfdfp_dfp as dfp;
 pub use mfdfp_nn as nn;
+pub use mfdfp_serve as serve;
 pub use mfdfp_tensor as tensor;
