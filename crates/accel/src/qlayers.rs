@@ -1,17 +1,38 @@
 //! Bit-accurate functional model of the multiplier-free datapath.
 //!
 //! These routines execute quantized layers exactly the way the hardware of
-//! Figure 2(a) would: activation codes flow through shift-based products,
-//! the widening adder tree (with per-level overflow audits), a 32-bit
-//! accumulator, and the radix-realigning router that converts a layer's
-//! input fractional length `m` into its output fractional length `n`.
+//! Figure 2(a) would — but through two implementations of the same
+//! arithmetic:
 //!
-//! `mfdfp-core` builds its integer inference engine on these primitives,
-//! which is precisely how the workspace proves software quantized
-//! inference and the accelerator agree bit-for-bit.
+//! * [`ShiftConv::run`] / [`ShiftLinear::run`] — the **deployed hot
+//!   path**: weights stay in their packed 4-bit nibble form
+//!   ([`PackedPow2Matrix`]) and flow through the shift-only
+//!   [`mfdfp_tensor::qgemm`] kernel (im2col for convolutions), whose inner
+//!   loop is pure shift/mask/add — no `Pow2Weight` decode, no branch, no
+//!   multiply. With the `parallel` cargo feature, large layers fan output
+//!   rows across OS threads.
+//! * [`ShiftConv::run_reference`] / [`ShiftLinear::run_reference`] — the
+//!   **decode-based audit path**: every nibble is unpacked to a
+//!   [`Pow2Weight`], products go one [`Pow2Weight::mul_shift`] at a time
+//!   through the widening [`AdderTree`] (with per-level overflow audits)
+//!   and the 32-bit [`Accumulator`]. This is the original cycle-faithful
+//!   rendition of the Figure 2(a) datapath; it is kept as the oracle the
+//!   packed path is property-tested against
+//!   (`tests/qgemm_equivalence.rs`) and as the decode-overhead baseline
+//!   the `qgemm` benches measure.
+//!
+//! Both paths compute identical activation codes for every valid input —
+//! integer products are exact and integer addition is order-independent —
+//! so `mfdfp-core` can serve traffic on the packed path while the audit
+//! path keeps proving the hardware semantics. (The contract is over
+//! successful results: overflow *audits* run at different granularity —
+//! per 16-product chunk on the reference path, per final output sum on
+//! the packed path — which can only diverge beyond ~2^16 worst-case
+//! synapses per neuron, far outside the paper's layer sizes; see the
+//! `qgemm` module docs.)
 
-use mfdfp_dfp::{Accumulator, AdderTree, Pow2Weight};
-use mfdfp_tensor::ConvGeometry;
+use mfdfp_dfp::{Accumulator, AdderTree, PackedPow2Matrix, Pow2Weight};
+use mfdfp_tensor::{qgemm, qgemm_into, ConvGeometry};
 
 use crate::error::{AccelError, Result};
 
@@ -24,8 +45,9 @@ pub const PRODUCT_FRAC_SHIFT: i32 = 7;
 pub struct ShiftConv {
     /// Convolution geometry (shared with the float framework).
     pub geom: ConvGeometry,
-    /// Power-of-two weights, `OutC×InC×k×k` order.
-    pub weights: Vec<Pow2Weight>,
+    /// Packed power-of-two weights: `out_c` rows of `col_height()`
+    /// synapses each (`OutC×InC/g×k×k` order, nibble-packed per row).
+    pub weights: PackedPow2Matrix,
     /// Per-output-channel bias, pre-aligned to the accumulator format
     /// (fractional length `m + 7`).
     pub bias: Vec<i64>,
@@ -37,27 +59,59 @@ pub struct ShiftConv {
 
 impl ShiftConv {
     /// Executes the layer on one image of activation codes (`C×H×W`,
-    /// row-major), returning output codes (`OutC×OH×OW`).
+    /// row-major), returning output codes (`OutC×OH×OW`) — the packed
+    /// shift-only path: integer im2col, then [`mfdfp_tensor::qgemm`]
+    /// straight over the nibble codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] on a length mismatch and
+    /// propagates the kernel's overflow audits as [`AccelError::Tensor`].
+    pub fn run(&self, input: &[i8]) -> Result<Vec<i8>> {
+        let g = &self.geom;
+        self.validate(input.len())?;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let npix = oh * ow;
+        let syn = g.col_height();
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        let group_out = g.out_c / g.groups;
+        let mut out = vec![0i8; g.out_c * npix];
+        // Integer im2col for one group (`syn × npix`): one synapse's
+        // activations across all output pixels are contiguous, the layout
+        // the packed kernel streams.
+        let mut xt = vec![0i32; syn * npix];
+        for grp in 0..g.groups {
+            gather_group_columns(input, g, grp, &mut xt);
+            let row0 = grp * group_out;
+            qgemm_into(
+                &self.weights,
+                row0,
+                group_out,
+                &xt,
+                npix,
+                &self.bias[row0..row0 + group_out],
+                acc_frac,
+                self.out_frac as i32,
+                &mut out[row0 * npix..(row0 + group_out) * npix],
+            )
+            .map_err(AccelError::Tensor)?;
+        }
+        Ok(out)
+    }
+
+    /// Executes the layer through the decode-based Figure 2(a) datapath:
+    /// per-element [`Pow2Weight::mul_shift`], the widening adder `tree`,
+    /// and the audited 32-bit accumulator. Kept as the bit-exactness
+    /// oracle and decode-overhead baseline for [`ShiftConv::run`].
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::BadInput`] on a length mismatch and
     /// propagates overflow audits from the adder tree.
-    pub fn run(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
+    pub fn run_reference(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
         let g = &self.geom;
-        let expect = g.in_c * g.in_h * g.in_w;
-        if input.len() != expect {
-            return Err(AccelError::BadInput { expected: expect, actual: input.len() });
-        }
-        if self.weights.len() != g.weight_count() {
-            return Err(AccelError::BadInput {
-                expected: g.weight_count(),
-                actual: self.weights.len(),
-            });
-        }
-        if self.bias.len() != g.out_c {
-            return Err(AccelError::BadInput { expected: g.out_c, actual: self.bias.len() });
-        }
+        self.validate(input.len())?;
+        let weights = self.weights.to_weights();
         let (oh, ow) = (g.out_h(), g.out_w());
         let k = g.kernel;
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
@@ -96,7 +150,7 @@ impl ShiftConv {
                     }
                     let code = mac_reduce(
                         &xs,
-                        &self.weights[wbase..wbase + syn_count],
+                        &weights[wbase..wbase + syn_count],
                         self.bias[oc],
                         acc_frac,
                         self.out_frac as i32,
@@ -109,6 +163,62 @@ impl ShiftConv {
         }
         Ok(out)
     }
+
+    fn validate(&self, input_len: usize) -> Result<()> {
+        let g = &self.geom;
+        let expect = g.in_c * g.in_h * g.in_w;
+        if input_len != expect {
+            return Err(AccelError::BadInput { expected: expect, actual: input_len });
+        }
+        if self.weights.rows() != g.out_c || self.weights.cols() != g.col_height() {
+            return Err(AccelError::BadConfig(format!(
+                "packed weight matrix is {}×{}, geometry needs {}×{}",
+                self.weights.rows(),
+                self.weights.cols(),
+                g.out_c,
+                g.col_height()
+            )));
+        }
+        if self.bias.len() != g.out_c {
+            return Err(AccelError::BadInput { expected: g.out_c, actual: self.bias.len() });
+        }
+        Ok(())
+    }
+}
+
+/// Fills `xt` (a `col_height × OH·OW` row-major buffer) with group
+/// `grp`'s receptive fields, widened to `i32` and zero for padding — the
+/// standard im2col layout [`mfdfp_tensor::qgemm`] streams (one synapse's
+/// activations across all output pixels contiguous).
+fn gather_group_columns(input: &[i8], g: &ConvGeometry, grp: usize, xt: &mut [i32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let npix = oh * ow;
+    let k = g.kernel;
+    let group_in = g.in_c / g.groups;
+    let c_lo = grp * group_in;
+    let mut si = 0usize;
+    for c in c_lo..c_lo + group_in {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &mut xt[si * npix..(si + 1) * npix];
+                let mut pix = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        row[pix] =
+                            if iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize {
+                                0
+                            } else {
+                                input[(c * g.in_h + iy as usize) * g.in_w + ix as usize] as i32
+                            };
+                        pix += 1;
+                    }
+                }
+                si += 1;
+            }
+        }
+    }
 }
 
 /// A fully-connected layer in hardware representation.
@@ -118,8 +228,9 @@ pub struct ShiftLinear {
     pub in_features: usize,
     /// Output features.
     pub out_features: usize,
-    /// Power-of-two weights, `out×in` row-major.
-    pub weights: Vec<Pow2Weight>,
+    /// Packed power-of-two weights: `out_features` rows of `in_features`
+    /// synapses each, nibble-packed per row.
+    pub weights: PackedPow2Matrix,
     /// Per-output bias in accumulator format (fractional length `m + 7`).
     pub bias: Vec<i64>,
     /// Input activation fractional length `m`.
@@ -129,22 +240,32 @@ pub struct ShiftLinear {
 }
 
 impl ShiftLinear {
-    /// Executes the layer on one activation-code vector.
+    /// Executes the layer on one activation-code vector — the packed
+    /// shift-only path ([`mfdfp_tensor::qgemm`] with a single activation
+    /// column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] on a length mismatch and
+    /// propagates the kernel's overflow audits as [`AccelError::Tensor`].
+    pub fn run(&self, input: &[i8]) -> Result<Vec<i8>> {
+        self.validate(input.len())?;
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();
+        qgemm(&self.weights, &xs, 1, &self.bias, acc_frac, self.out_frac as i32)
+            .map_err(AccelError::Tensor)
+    }
+
+    /// Executes the layer through the decode-based Figure 2(a) datapath
+    /// (see [`ShiftConv::run_reference`]).
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::BadInput`] on a length mismatch and
     /// propagates overflow audits from the adder tree.
-    pub fn run(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
-        if input.len() != self.in_features {
-            return Err(AccelError::BadInput { expected: self.in_features, actual: input.len() });
-        }
-        if self.weights.len() != self.in_features * self.out_features {
-            return Err(AccelError::BadInput {
-                expected: self.in_features * self.out_features,
-                actual: self.weights.len(),
-            });
-        }
+    pub fn run_reference(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
+        self.validate(input.len())?;
+        let weights = self.weights.to_weights();
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
         let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();
         let mut acc = Accumulator::new();
@@ -153,7 +274,7 @@ impl ShiftLinear {
             let wbase = o * self.in_features;
             *out_code = mac_reduce(
                 &xs,
-                &self.weights[wbase..wbase + self.in_features],
+                &weights[wbase..wbase + self.in_features],
                 self.bias[o],
                 acc_frac,
                 self.out_frac as i32,
@@ -162,6 +283,28 @@ impl ShiftLinear {
             )?;
         }
         Ok(out)
+    }
+
+    fn validate(&self, input_len: usize) -> Result<()> {
+        if input_len != self.in_features {
+            return Err(AccelError::BadInput { expected: self.in_features, actual: input_len });
+        }
+        if self.weights.rows() != self.out_features || self.weights.cols() != self.in_features {
+            return Err(AccelError::BadConfig(format!(
+                "packed weight matrix is {}×{}, layer needs {}×{}",
+                self.weights.rows(),
+                self.weights.cols(),
+                self.out_features,
+                self.in_features
+            )));
+        }
+        if self.bias.len() != self.out_features {
+            return Err(AccelError::BadInput {
+                expected: self.out_features,
+                actual: self.bias.len(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -307,6 +450,10 @@ mod tests {
         AdderTree::new(16).unwrap()
     }
 
+    fn pack(rows: usize, cols: usize, ws: &[f32]) -> PackedPow2Matrix {
+        PackedPow2Matrix::from_f32(rows, cols, ws).unwrap()
+    }
+
     #[test]
     fn shift_linear_matches_float_reference() {
         // 4 inputs in ⟨8,7⟩, weights exact powers of two: the integer path
@@ -317,13 +464,14 @@ mod tests {
         let layer = ShiftLinear {
             in_features: 4,
             out_features: 2,
-            weights: ws.iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
+            weights: pack(2, 4, &ws),
             bias: vec![0, 0],
             in_frac: 7,
             out_frac: 5,
         };
         let codes: Vec<i8> = xs.iter().map(|&x| in_fmt.quantize(x) as i8).collect();
-        let out = layer.run(&codes, &tree16()).unwrap();
+        let out = layer.run(&codes).unwrap();
+        assert_eq!(out, layer.run_reference(&codes, &tree16()).unwrap());
         let out_fmt = DfpFormat::q8(5);
         for (o, row) in out.iter().enumerate() {
             let expect: f32 = xs.iter().zip(&ws[o * 4..(o + 1) * 4]).map(|(x, w)| x * w).sum();
@@ -337,14 +485,14 @@ mod tests {
         let layer = ShiftLinear {
             in_features: 1,
             out_features: 1,
-            weights: vec![Pow2Weight::from_f32(1.0)],
+            weights: pack(1, 1, &[1.0]),
             bias: vec![1 << 11], // 1.0 at fractional length m+7 = 11
             in_frac: 4,
             out_frac: 4,
         };
-        let out = layer.run(&[0], &tree16()).unwrap();
-        // 0·w + 1.0 → code 16 in ⟨8,4⟩.
-        assert_eq!(out[0], 16);
+        // 0·w + 1.0 → code 16 in ⟨8,4⟩, on both paths.
+        assert_eq!(layer.run(&[0]).unwrap(), vec![16]);
+        assert_eq!(layer.run_reference(&[0], &tree16()).unwrap(), vec![16]);
     }
 
     #[test]
@@ -352,20 +500,20 @@ mod tests {
         let layer = ShiftLinear {
             in_features: 4,
             out_features: 1,
-            weights: vec![Pow2Weight::from_f32(1.0); 4],
+            weights: pack(1, 4, &[1.0; 4]),
             bias: vec![0],
             in_frac: 0,
             out_frac: 7, // huge upscale forces saturation
         };
-        let out = layer.run(&[100, 100, 100, 100], &tree16()).unwrap();
-        assert_eq!(out[0], 127);
+        assert_eq!(layer.run(&[100, 100, 100, 100]).unwrap(), vec![127]);
+        assert_eq!(layer.run_reference(&[100, 100, 100, 100], &tree16()).unwrap(), vec![127]);
     }
 
     fn dummy_linear(inf: usize, outf: usize) -> ShiftLinear {
         ShiftLinear {
             in_features: inf,
             out_features: outf,
-            weights: vec![Pow2Weight::from_f32(0.5); inf * outf],
+            weights: pack(outf, inf, &vec![0.5f32; inf * outf]),
             bias: vec![0; outf],
             in_frac: 7,
             out_frac: 7,
@@ -375,10 +523,11 @@ mod tests {
     #[test]
     fn linear_validates_lengths() {
         let l = dummy_linear(4, 2);
-        assert!(l.run(&[0; 3], &tree16()).is_err());
+        assert!(l.run(&[0; 3]).is_err());
+        assert!(l.run_reference(&[0; 3], &tree16()).is_err());
         let mut bad = dummy_linear(4, 2);
-        bad.weights.pop();
-        assert!(bad.run(&[0; 4], &tree16()).is_err());
+        bad.weights = pack(2, 3, &[0.5; 6]); // wrong column count
+        assert!(bad.run(&[0; 4]).is_err());
     }
 
     #[test]
@@ -388,15 +537,11 @@ mod tests {
         let in_fmt = DfpFormat::q8(6);
         let xvals = [0.5f32, 0.25, -0.5, 1.0, -0.25, 0.125, 0.5, 0.5, -1.0];
         let wvals = [0.5f32, -0.5, 0.25, 1.0];
-        let layer = ShiftConv {
-            geom,
-            weights: wvals.iter().map(|&w| Pow2Weight::from_f32(w)).collect(),
-            bias: vec![0],
-            in_frac: 6,
-            out_frac: 5,
-        };
+        let layer =
+            ShiftConv { geom, weights: pack(1, 4, &wvals), bias: vec![0], in_frac: 6, out_frac: 5 };
         let codes: Vec<i8> = xvals.iter().map(|&x| in_fmt.quantize(x) as i8).collect();
-        let out = layer.run(&codes, &tree16()).unwrap();
+        let out = layer.run(&codes).unwrap();
+        assert_eq!(out, layer.run_reference(&codes, &tree16()).unwrap());
         assert_eq!(out.len(), 4);
         let out_fmt = DfpFormat::q8(5);
         // Manually compute expected top-left output.
@@ -410,14 +555,15 @@ mod tests {
         let geom = ConvGeometry::new(1, 2, 2, 1, 3, 1, 1).unwrap();
         let layer = ShiftConv {
             geom,
-            weights: vec![Pow2Weight::from_f32(1.0); 9],
+            weights: pack(1, 9, &[1.0; 9]),
             bias: vec![0],
             in_frac: 0,
             out_frac: 0,
         };
-        let out = layer.run(&[1, 1, 1, 1], &tree16()).unwrap();
+        let out = layer.run(&[1, 1, 1, 1]).unwrap();
         // Centre of the 2×2 output: each position sees all four ones.
         assert_eq!(out, vec![4, 4, 4, 4]);
+        assert_eq!(layer.run_reference(&[1, 1, 1, 1], &tree16()).unwrap(), out);
     }
 
     #[test]
@@ -427,14 +573,15 @@ mod tests {
         let geom = ConvGeometry::new(2, 2, 2, 2, 1, 1, 0).unwrap().with_groups(2).unwrap();
         let layer = ShiftConv {
             geom,
-            weights: vec![Pow2Weight::from_f32(1.0); 2],
+            weights: pack(2, 1, &[1.0; 2]),
             bias: vec![0, 0],
             in_frac: 0,
             out_frac: 0,
         };
         let input = [1i8, 2, 3, 4, 10, 20, 30, 40];
-        let out = layer.run(&input, &tree16()).unwrap();
+        let out = layer.run(&input).unwrap();
         assert_eq!(out, input.to_vec());
+        assert_eq!(layer.run_reference(&input, &tree16()).unwrap(), input.to_vec());
     }
 
     #[test]

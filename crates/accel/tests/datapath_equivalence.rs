@@ -5,7 +5,7 @@
 //! stage.
 
 use mfdfp_accel::{ShiftConv, ShiftLinear};
-use mfdfp_dfp::{AdderTree, DfpFormat, Pow2Weight};
+use mfdfp_dfp::{AdderTree, DfpFormat, PackedPow2Matrix, Pow2Weight};
 use mfdfp_tensor::ConvGeometry;
 use proptest::prelude::*;
 
@@ -98,13 +98,14 @@ proptest! {
 
         let layer = ShiftConv {
             geom: g,
-            weights: weights.clone(),
+            weights: PackedPow2Matrix::from_weights(g.out_c, g.col_height(), &weights).unwrap(),
             bias: bias.clone(),
             in_frac,
             out_frac,
         };
         let tree = AdderTree::new(16).unwrap();
-        let got = layer.run(&input, &tree).unwrap();
+        let got = layer.run(&input).unwrap();
+        prop_assert_eq!(&got, &layer.run_reference(&input, &tree).unwrap());
         let exact = reference_conv(&input, &weights, &bias, &g, in_frac, out_frac);
         let out_fmt = DfpFormat::q8(out_frac);
         let step = out_fmt.step() as f64;
@@ -149,13 +150,14 @@ proptest! {
         let layer = ShiftLinear {
             in_features,
             out_features,
-            weights: weights.clone(),
+            weights: PackedPow2Matrix::from_weights(out_features, in_features, &weights).unwrap(),
             bias: bias.clone(),
             in_frac,
             out_frac,
         };
         let tree = AdderTree::new(16).unwrap();
-        let got = layer.run(&input, &tree).unwrap();
+        let got = layer.run(&input).unwrap();
+        prop_assert_eq!(&got, &layer.run_reference(&input, &tree).unwrap());
         let acc_step = 2f64.powi(-(in_frac as i32 + 7));
         let out_fmt = DfpFormat::q8(out_frac);
         let step = out_fmt.step() as f64;

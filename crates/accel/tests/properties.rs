@@ -5,7 +5,7 @@ use mfdfp_accel::{
     avg_pool_codes, design_metrics, max_pool_codes, relu_codes, schedule_network,
     AcceleratorConfig, ComponentLibrary, DmaModel, Precision, ShiftLinear,
 };
-use mfdfp_dfp::{AdderTree, Pow2Weight};
+use mfdfp_dfp::{AdderTree, PackedPow2Matrix, Pow2Weight};
 use mfdfp_nn::zoo;
 use mfdfp_tensor::TensorRng;
 use proptest::prelude::*;
@@ -27,14 +27,16 @@ proptest! {
         let layer = ShiftLinear {
             in_features: 16,
             out_features: 1,
-            weights: weights.clone(),
+            weights: PackedPow2Matrix::from_weights(1, 16, &weights).unwrap(),
             bias: vec![0],
             in_frac: 7,
             out_frac: 3,
         };
         let input: Vec<i8> = codes.iter().map(|&c| c as i8).collect();
         let tree = AdderTree::new(16).unwrap();
-        let out = layer.run(&input, &tree).unwrap();
+        let out = layer.run(&input).unwrap();
+        // The packed path and the decode-based datapath must agree exactly.
+        prop_assert_eq!(&out, &layer.run_reference(&input, &tree).unwrap());
         // Exact value in f64.
         let exact: f64 = input
             .iter()

@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mfdfp_accel::ShiftConv;
-use mfdfp_dfp::{AdderTree, Pow2Weight};
+use mfdfp_dfp::PackedPow2Matrix;
 use mfdfp_tensor::{
     conv2d_forward, conv2d_forward_serial, gemm, gemm_serial, ConvGeometry, Tensor, TensorRng,
     Transpose,
@@ -94,7 +94,8 @@ fn bench(c: &mut Criterion) {
 
     let shift = ShiftConv {
         geom: g,
-        weights: w.as_slice().iter().map(|&v| Pow2Weight::from_f32(v)).collect(),
+        weights: PackedPow2Matrix::from_f32(g.out_c, g.col_height(), w.as_slice())
+            .expect("packed weights"),
         bias: vec![0; g.out_c],
         in_frac: 7,
         out_frac: 5,
@@ -105,9 +106,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|&v| (v * 128.0).clamp(-128.0, 127.0) as i8)
         .collect();
-    let tree = AdderTree::new(16).expect("tree");
+    // Since PR 3 this measures the packed shift-only qgemm path; the
+    // decode-based datapath baseline lives in benches/qgemm.rs.
     group.bench_function("integer_shift_datapath", |b| {
-        b.iter(|| black_box(shift.run(black_box(&codes), &tree).expect("shift conv")))
+        b.iter(|| black_box(shift.run(black_box(&codes)).expect("shift conv")))
     });
 
     group.finish();

@@ -8,7 +8,7 @@
 //! activation codes — which is the property the deployment flow needs.
 
 use mfdfp_accel::qlayers::{ShiftConv, ShiftLinear};
-use mfdfp_dfp::{pack_nibbles, unpack_nibbles, DfpFormat};
+use mfdfp_dfp::{pack_nibbles, unpack_nibbles, DfpFormat, PackedPow2Matrix};
 use mfdfp_tensor::{ConvGeometry, PoolKind};
 
 use crate::error::{CoreError, Result};
@@ -36,8 +36,11 @@ pub fn to_bytes(net: &QuantizedNet) -> Vec<u8> {
                 write_conv_geometry(&mut out, &c.geom);
                 out.push(c.in_frac as u8);
                 out.push(c.out_frac as u8);
-                let packed = pack_nibbles(&c.weights);
-                write_u32(&mut out, c.weights.len() as u32);
+                // The image packs nibbles contiguously (no per-row byte
+                // alignment), so unpack the row-aligned matrix first.
+                let weights = c.weights.to_weights();
+                let packed = pack_nibbles(&weights);
+                write_u32(&mut out, weights.len() as u32);
                 out.extend_from_slice(&packed);
                 write_u32(&mut out, c.bias.len() as u32);
                 for &b in &c.bias {
@@ -50,8 +53,9 @@ pub fn to_bytes(net: &QuantizedNet) -> Vec<u8> {
                 write_u32(&mut out, l.out_features as u32);
                 out.push(l.in_frac as u8);
                 out.push(l.out_frac as u8);
-                let packed = pack_nibbles(&l.weights);
-                write_u32(&mut out, l.weights.len() as u32);
+                let weights = l.weights.to_weights();
+                let packed = pack_nibbles(&weights);
+                write_u32(&mut out, weights.len() as u32);
                 out.extend_from_slice(&packed);
                 write_u32(&mut out, l.bias.len() as u32);
                 for &b in &l.bias {
@@ -105,7 +109,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
                 let out_frac = r.u8()? as i8;
                 let wcount = r.u32()? as usize;
                 let packed = r.take(wcount.div_ceil(2))?.to_vec();
-                let weights = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let flat = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let weights = PackedPow2Matrix::from_weights(geom.out_c, geom.col_height(), &flat)
+                    .map_err(CoreError::Dfp)?;
                 let bcount = r.u32()? as usize;
                 let mut bias = Vec::with_capacity(bcount);
                 for _ in 0..bcount {
@@ -120,7 +126,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
                 let out_frac = r.u8()? as i8;
                 let wcount = r.u32()? as usize;
                 let packed = r.take(wcount.div_ceil(2))?.to_vec();
-                let weights = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let flat = unpack_nibbles(&packed, wcount).map_err(CoreError::Dfp)?;
+                let weights = PackedPow2Matrix::from_weights(out_features, in_features, &flat)
+                    .map_err(CoreError::Dfp)?;
                 let bcount = r.u32()? as usize;
                 let mut bias = Vec::with_capacity(bcount);
                 for _ in 0..bcount {
@@ -270,8 +278,8 @@ mod tests {
             .layers()
             .iter()
             .map(|l| match l {
-                QLayer::Conv(c) => c.weights.len() * 4,
-                QLayer::Linear(l) => l.weights.len() * 4,
+                QLayer::Conv(c) => c.weights.count() * 4,
+                QLayer::Linear(l) => l.weights.count() * 4,
                 _ => 0,
             })
             .sum::<usize>();

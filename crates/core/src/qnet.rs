@@ -7,11 +7,17 @@
 //! forward pass uses **only** integer shift/add operations (via
 //! `mfdfp_accel::qlayers`), so evaluating it *is* simulating the
 //! accelerator bit-for-bit.
+//!
+//! Weights stay in their packed 4-bit nibble form from construction to
+//! inference: [`QuantizedNet::forward_codes`] dispatches the shift-only
+//! packed `qgemm` kernel, while [`QuantizedNet::forward_codes_reference`]
+//! keeps the original decode-based adder-tree datapath as the
+//! bit-exactness oracle (the two are property-tested identical).
 
 use mfdfp_accel::qlayers::{
     avg_pool_codes, max_pool_codes, relu_codes, ShiftConv, ShiftLinear, PRODUCT_FRAC_SHIFT,
 };
-use mfdfp_dfp::{realign, AdderTree, DfpFormat, Pow2Weight};
+use mfdfp_dfp::{realign, AdderTree, DfpFormat, PackedPow2Matrix};
 use mfdfp_nn::{Layer, Network};
 use mfdfp_tensor::{PoolKind, Shape, Tensor};
 
@@ -85,14 +91,15 @@ impl QuantizedNet {
                 Layer::Conv(c) => {
                     let out_fmt = plan.boundary_formats[i];
                     let bias_fmt = plan.bias_formats[i].expect("weighted layer has bias format");
+                    let g = *c.geometry();
                     layers.push(QLayer::Conv(ShiftConv {
-                        geom: *c.geometry(),
-                        weights: c
-                            .weights()
-                            .as_slice()
-                            .iter()
-                            .map(|&w| Pow2Weight::from_f32(w))
-                            .collect(),
+                        geom: g,
+                        weights: PackedPow2Matrix::from_f32(
+                            g.out_c,
+                            g.col_height(),
+                            c.weights().as_slice(),
+                        )
+                        .map_err(CoreError::Dfp)?,
                         bias: align_biases(c.bias().as_slice(), bias_fmt, current),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
@@ -107,12 +114,12 @@ impl QuantizedNet {
                     layers.push(QLayer::Linear(ShiftLinear {
                         in_features: l.in_features(),
                         out_features: l.out_features(),
-                        weights: l
-                            .weights()
-                            .as_slice()
-                            .iter()
-                            .map(|&w| Pow2Weight::from_f32(w))
-                            .collect(),
+                        weights: PackedPow2Matrix::from_f32(
+                            l.out_features(),
+                            l.in_features(),
+                            l.weights().as_slice(),
+                        )
+                        .map_err(CoreError::Dfp)?,
                         bias: align_biases(l.bias().as_slice(), bias_fmt, current),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
@@ -239,13 +246,44 @@ impl QuantizedNet {
         self.forward_codes_from(image.as_slice())
     }
 
+    /// Runs the same inference through the **decode-based** Figure 2(a)
+    /// datapath — per-element `Pow2Weight` decode and `mul_shift`, the
+    /// widening adder tree with per-level overflow audits, the 32-bit
+    /// accumulator — instead of the packed shift-only `qgemm` kernel that
+    /// [`QuantizedNet::forward_codes`] dispatches.
+    ///
+    /// Slower by design. Kept as the bit-exactness oracle the packed hot
+    /// path is property-tested against (`crates/core/tests/properties.rs`,
+    /// `crates/accel/tests/qgemm_equivalence.rs`) and as the
+    /// decode-overhead baseline recorded in `BENCH_qgemm.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults (overflow audits, geometry mismatches).
+    pub fn forward_codes_reference(&self, image: &Tensor) -> Result<Vec<i8>> {
+        self.forward_layers(image.as_slice(), true)
+    }
+
     fn forward_codes_from(&self, image: &[f32]) -> Result<Vec<i8>> {
+        self.forward_layers(image, false)
+    }
+
+    /// The shared layer-dispatch loop: `reference` selects the decode-based
+    /// adder-tree path for the weighted layers; pooling and ReLU are
+    /// identical on both paths.
+    fn forward_layers(&self, image: &[f32], reference: bool) -> Result<Vec<i8>> {
         let mut codes: Vec<i8> =
             image.iter().map(|&x| self.input_format.quantize(x) as i8).collect();
         for layer in &self.layers {
             codes = match layer {
-                QLayer::Conv(c) => c.run(&codes, &self.tree).map_err(CoreError::Accel)?,
-                QLayer::Linear(l) => l.run(&codes, &self.tree).map_err(CoreError::Accel)?,
+                QLayer::Conv(c) => {
+                    if reference { c.run_reference(&codes, &self.tree) } else { c.run(&codes) }
+                        .map_err(CoreError::Accel)?
+                }
+                QLayer::Linear(l) => {
+                    if reference { l.run_reference(&codes, &self.tree) } else { l.run(&codes) }
+                        .map_err(CoreError::Accel)?
+                }
                 QLayer::Pool { kind, channels, in_h, in_w, window, stride } => match kind {
                     PoolKind::Max => {
                         max_pool_codes(&codes, *channels, *in_h, *in_w, *window, *stride)
@@ -360,11 +398,11 @@ impl QuantizedNet {
         for layer in &self.layers {
             match layer {
                 QLayer::Conv(c) => {
-                    weights += c.weights.len() as u64;
+                    weights += c.weights.count() as u64;
                     biases += c.bias.len() as u64;
                 }
                 QLayer::Linear(l) => {
-                    weights += l.weights.len() as u64;
+                    weights += l.weights.count() as u64;
                     biases += l.bias.len() as u64;
                 }
                 _ => {}
@@ -436,6 +474,22 @@ mod tests {
         }
         let frac = exact as f64 / fq_logits.len() as f64;
         assert!(frac >= 0.9, "only {frac:.2} of logits bit-exact");
+    }
+
+    #[test]
+    fn packed_forward_matches_decode_reference() {
+        // The tentpole contract at network scope: the packed shift-only
+        // forward and the decode-based datapath agree code-for-code.
+        let (net, plan, calib) = setup();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        for s in 0..calib[0].0.shape().dim(0) {
+            let img = calib[0].0.index_axis0(s);
+            assert_eq!(
+                q.forward_codes(&img).unwrap(),
+                q.forward_codes_reference(&img).unwrap(),
+                "sample {s} diverged between packed and decode paths"
+            );
+        }
     }
 
     #[test]

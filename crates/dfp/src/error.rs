@@ -24,6 +24,13 @@ pub enum DfpError {
         /// The register width it had to fit in.
         bits: u8,
     },
+    /// A weight buffer's length does not match the declared geometry.
+    LengthMismatch {
+        /// Element count implied by the geometry.
+        expected: usize,
+        /// Element count actually provided.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for DfpError {
@@ -38,6 +45,9 @@ impl fmt::Display for DfpError {
             DfpError::BadFanIn(n) => write!(f, "adder tree fan-in {n} is not a power of two"),
             DfpError::Overflow { value, bits } => {
                 write!(f, "value {value} overflows a {bits}-bit register")
+            }
+            DfpError::LengthMismatch { expected, actual } => {
+                write!(f, "weight count {actual} does not match geometry ({expected})")
             }
         }
     }

@@ -47,11 +47,12 @@
 //! # Ok::<(), mfdfp_dfp::DfpError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod arith;
 mod error;
 mod format;
+mod packed;
 mod pow2;
 mod range;
 
@@ -61,6 +62,7 @@ pub use arith::{
 };
 pub use error::{DfpError, Result};
 pub use format::DfpFormat;
+pub use packed::PackedPow2Matrix;
 pub use pow2::{
     pack_nibbles, quantize_weights, unpack_nibbles, Pow2Weight, Sign, EXP_MAX, EXP_MIN,
 };

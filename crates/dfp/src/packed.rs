@@ -1,0 +1,205 @@
+//! Row-aligned nibble-packed weight matrices — the storage format the
+//! shift-only GEMM kernel ([`mfdfp_tensor::ops::qgemm`] in the tensor
+//! crate) consumes directly, with no per-element [`Pow2Weight`] decode.
+//!
+//! Each weight is the 4-bit hardware code of [`Pow2Weight::encode4`]; two
+//! codes share a byte (low nibble first, matching [`pack_nibbles`]).
+//! **Every row starts on a byte boundary**: a row of odd length carries one
+//! zero pad nibble at its end, which consumers must skip — code `0`
+//! decodes to `+2^0 = +1`, not zero, so the pad nibble is *never* part of
+//! the arithmetic. Row alignment is what lets a kernel slice out one
+//! output neuron's weights as a plain `&[u8]` without bit offsets.
+
+use crate::error::{DfpError, Result};
+use crate::pow2::Pow2Weight;
+
+/// A `rows × cols` matrix of power-of-two weights, stored as row-aligned
+/// packed 4-bit codes.
+///
+/// This is the deployed form of a weight matrix: 4 bits per weight plus at
+/// most one pad nibble per row, i.e. the same 8× compression as the
+/// paper's weight buffer, in a layout a shift-only kernel can stream.
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::{PackedPow2Matrix, Pow2Weight};
+///
+/// // A 2×3 matrix: each 3-code row occupies 2 bytes (one pad nibble).
+/// let ws: Vec<Pow2Weight> =
+///     [0.5f32, -0.25, 1.0, -1.0, 0.125, 0.0078125].iter().map(|&w| Pow2Weight::from_f32(w)).collect();
+/// let m = PackedPow2Matrix::from_weights(2, 3, &ws)?;
+/// assert_eq!(m.row_stride(), 2);
+/// assert_eq!(m.get(0, 1), Pow2Weight::from_f32(-0.25));
+/// assert_eq!(m.to_weights(), ws); // lossless round trip
+/// # Ok::<(), mfdfp_dfp::DfpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPow2Matrix {
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    data: Vec<u8>,
+}
+
+impl PackedPow2Matrix {
+    /// Packs `rows × cols` weights (row-major) into nibble codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::LengthMismatch`] if `ws.len() != rows * cols`.
+    pub fn from_weights(rows: usize, cols: usize, ws: &[Pow2Weight]) -> Result<Self> {
+        if ws.len() != rows * cols {
+            return Err(DfpError::LengthMismatch { expected: rows * cols, actual: ws.len() });
+        }
+        let stride = cols.div_ceil(2);
+        let mut data = vec![0u8; rows * stride];
+        for r in 0..rows {
+            let row = &ws[r * cols..(r + 1) * cols];
+            let out = &mut data[r * stride..(r + 1) * stride];
+            for (byte, pair) in out.iter_mut().zip(row.chunks(2)) {
+                let lo = pair[0].encode4();
+                let hi = if pair.len() == 2 { pair[1].encode4() } else { 0 };
+                *byte = (hi << 4) | lo;
+            }
+        }
+        Ok(PackedPow2Matrix { rows, cols, stride, data })
+    }
+
+    /// Quantizes `rows × cols` float weights (row-major) to powers of two
+    /// and packs them — the one-step path from a trained layer to its
+    /// deployed weight buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfpError::LengthMismatch`] if `ws.len() != rows * cols`.
+    pub fn from_f32(rows: usize, cols: usize, ws: &[f32]) -> Result<Self> {
+        let quantized: Vec<Pow2Weight> = ws.iter().map(|&w| Pow2Weight::from_f32(w)).collect();
+        Self::from_weights(rows, cols, &quantized)
+    }
+
+    /// Number of weight rows (output neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of weight columns (input synapses per neuron).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total weight count (`rows × cols`), pad nibbles excluded.
+    pub fn count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Bytes per packed row (`ceil(cols / 2)`).
+    pub fn row_stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The packed bytes of row `r`: `row_stride()` bytes, low nibble
+    /// first; for odd `cols` the final high nibble is zero padding.
+    pub fn row_bytes(&self, r: usize) -> &[u8] {
+        &self.data[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// The whole packed buffer, row-major with per-row byte alignment.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Decodes the weight at `(r, c)` — a convenience for tests and
+    /// reference paths; the hot kernel never calls this.
+    pub fn get(&self, r: usize, c: usize) -> Pow2Weight {
+        let byte = self.data[r * self.stride + c / 2];
+        let nibble = if c.is_multiple_of(2) { byte & 0xF } else { byte >> 4 };
+        Pow2Weight::decode4(nibble).expect("4-bit nibble is always a valid code")
+    }
+
+    /// Unpacks every weight back to [`Pow2Weight`] values (row-major, pad
+    /// nibbles skipped) — the decode-based reference path and the
+    /// deployment serialiser use this; inference does not.
+    pub fn to_weights(&self) -> Vec<Pow2Weight> {
+        let mut out = Vec::with_capacity(self.count());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pow2::pack_nibbles;
+
+    fn weights(n: usize) -> Vec<Pow2Weight> {
+        (0..n).map(|i| Pow2Weight::decode4((i % 16) as u8).unwrap()).collect()
+    }
+
+    #[test]
+    fn round_trips_even_and_odd_row_lengths() {
+        for cols in [1usize, 2, 3, 7, 8] {
+            for rows in [1usize, 2, 5] {
+                let ws = weights(rows * cols);
+                let m = PackedPow2Matrix::from_weights(rows, cols, &ws).unwrap();
+                assert_eq!(m.rows(), rows);
+                assert_eq!(m.cols(), cols);
+                assert_eq!(m.count(), rows * cols);
+                assert_eq!(m.row_stride(), cols.div_ceil(2));
+                assert_eq!(m.to_weights(), ws, "rows={rows} cols={cols}");
+                for r in 0..rows {
+                    for c in 0..cols {
+                        assert_eq!(m.get(r, c), ws[r * cols + c]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_rows_match_flat_nibble_packing() {
+        // With even cols there are no pad nibbles, so the buffer is exactly
+        // the flat pack_nibbles image.
+        let ws = weights(4 * 6);
+        let m = PackedPow2Matrix::from_weights(4, 6, &ws).unwrap();
+        assert_eq!(m.as_bytes(), pack_nibbles(&ws).as_slice());
+    }
+
+    #[test]
+    fn odd_rows_are_byte_aligned_with_zero_pad() {
+        let ws = weights(2 * 3);
+        let m = PackedPow2Matrix::from_weights(2, 3, &ws).unwrap();
+        assert_eq!(m.as_bytes().len(), 4); // 2 rows × 2 bytes
+        assert_eq!(m.row_bytes(0)[1] >> 4, 0, "pad nibble must be zero");
+        assert_eq!(m.row_bytes(1)[1] >> 4, 0);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let m = PackedPow2Matrix::from_weights(0, 5, &[]).unwrap();
+        assert_eq!(m.count(), 0);
+        assert!(m.as_bytes().is_empty());
+        let m = PackedPow2Matrix::from_weights(3, 0, &[]).unwrap();
+        assert_eq!(m.row_stride(), 0);
+        assert_eq!(m.to_weights(), vec![]);
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        assert!(PackedPow2Matrix::from_weights(2, 2, &weights(3)).is_err());
+        assert!(PackedPow2Matrix::from_f32(2, 2, &[0.5; 5]).is_err());
+    }
+
+    #[test]
+    fn from_f32_quantizes_like_pow2weight() {
+        let vals = [0.3f32, -0.6, 0.01, 1.0];
+        let m = PackedPow2Matrix::from_f32(2, 2, &vals).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(m.get(i / 2, i % 2), Pow2Weight::from_f32(v));
+        }
+    }
+}

@@ -144,6 +144,20 @@ impl Pow2Weight {
     /// `x·2^(−m) · s·2^e  =  (s·x · 2^(e+7)) · 2^(−m−7)` with
     /// `e + 7 ∈ [0, 7]`, so the left shift is always non-negative and no
     /// precision is lost (the paper's "no loss in intermediate values").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mfdfp_dfp::Pow2Weight;
+    ///
+    /// // w = −0.25 = −2^−2; an activation code x stands for x·2^−m.
+    /// let w = Pow2Weight::from_f32(-0.25);
+    /// // The product carries 7 extra fractional bits: −0.25·80 = −20,
+    /// // returned as −20·2^7 = −2560 in format ⟨·, m+7⟩.
+    /// assert_eq!(w.mul_shift(80), -2560);
+    /// // Exactly sign · (x << (e + 7)) — a negate and a shift, no multiplier.
+    /// assert_eq!(w.mul_shift(80), -(80 << 5));
+    /// ```
     pub fn mul_shift(self, x: i32) -> i32 {
         (self.sign.factor() * x) << (self.exp - EXP_MIN)
     }
@@ -201,11 +215,11 @@ pub fn pack_nibbles(ws: &[Pow2Weight]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DfpError::BadWeightCode`] only if `count` exceeds the packed
+/// Returns [`DfpError::LengthMismatch`] only if `count` exceeds the packed
 /// capacity.
 pub fn unpack_nibbles(bytes: &[u8], count: usize) -> Result<Vec<Pow2Weight>> {
     if count > bytes.len() * 2 {
-        return Err(DfpError::BadWeightCode(0));
+        return Err(DfpError::LengthMismatch { expected: count, actual: bytes.len() * 2 });
     }
     let mut out = Vec::with_capacity(count);
     for i in 0..count {

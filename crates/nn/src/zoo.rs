@@ -2,8 +2,8 @@
 //! trainable variants for CPU-budget experiments.
 //!
 //! * [`cifar10_quick`] — the Caffe "CIFAR-10 quick" network the paper uses
-//!   for its CIFAR-10 benchmark (reference [2], Krizhevsky).
-//! * [`alexnet`] — AlexNet (reference [20]) with LRN layers removed, as the
+//!   for its CIFAR-10 benchmark (the paper's reference \[2\], Krizhevsky).
+//! * [`alexnet`] — AlexNet (reference \[20\]) with LRN layers removed, as the
 //!   paper does ("we remove all local response normalization layers").
 //!   Convolutions are ungrouped (single-GPU formulation), which slightly
 //!   increases the parameter count over the grouped Caffe model; DESIGN.md

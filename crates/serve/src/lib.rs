@@ -44,7 +44,7 @@
 //! # Ok::<(), mfdfp_serve::ServeError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod error;

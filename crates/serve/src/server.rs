@@ -110,6 +110,38 @@ impl Server {
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::BadInput`],
     /// [`ServeError::QueueFull`] or [`ServeError::Closed`].
+    ///
+    /// # Examples
+    ///
+    /// End to end: quantize a tiny network, register it, submit one image
+    /// and block on the ticket. The response is byte-identical to a
+    /// direct `QuantizedNet::logits` call on the same input.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mfdfp_core::{calibrate, QuantizedNet};
+    /// use mfdfp_serve::{ModelRegistry, ServeConfig, Server};
+    /// use mfdfp_tensor::TensorRng;
+    ///
+    /// // A small calibrated MF-DFP network (3×16×16 input, 10 classes).
+    /// let mut rng = TensorRng::seed_from(5);
+    /// let mut net = mfdfp_nn::zoo::quick_custom(3, 16, [2, 2, 4], 8, 10, &mut rng)?;
+    /// let calib = rng.gaussian([2, 3, 16, 16], 0.0, 0.7);
+    /// let plan = calibrate(&mut net, &[(calib, vec![0, 1])], 8)?;
+    /// let qnet = QuantizedNet::from_network(&net, &plan)?;
+    ///
+    /// let registry = Arc::new(ModelRegistry::new());
+    /// registry.register("tiny", qnet.clone());
+    /// let server = Server::start(registry, ServeConfig::default())?;
+    ///
+    /// let image = rng.gaussian([3, 16, 16], 0.0, 0.7);
+    /// let ticket = server.submit("tiny", image.clone())?;   // admission + enqueue
+    /// let response = ticket.wait()?;                        // blocks for the batch
+    /// assert_eq!(response.model, "tiny");
+    /// assert_eq!(response.logits.as_slice(), qnet.logits(&image)?.as_slice());
+    /// server.shutdown();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket> {
         let resolved = self.registry.get(model)?;
         if let Some(expected) = resolved.input_len() {

@@ -40,6 +40,14 @@ pub enum TensorError {
     },
     /// Convolution/pooling geometry does not produce a positive output size.
     BadGeometry(String),
+    /// A quantized-kernel operand or accumulator left its hardware register
+    /// width (the software rendition of the datapath's overflow audit).
+    QuantizedOverflow {
+        /// The offending value.
+        value: i64,
+        /// The register width it had to fit.
+        bits: u8,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -63,6 +71,9 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::BadGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::QuantizedOverflow { value, bits } => {
+                write!(f, "quantized value {value} does not fit a {bits}-bit register")
+            }
         }
     }
 }

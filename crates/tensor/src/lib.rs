@@ -11,8 +11,11 @@
 //! * **Contiguous storage only.** No views or broadcasting rules to reason
 //!   about; operations copy. The networks in this workspace are small enough
 //!   that clarity wins over zero-copy cleverness.
-//! * **`f32` only.** Quantized types live in `mfdfp-dfp`; this crate is the
-//!   *float* world that Algorithm 1 quantizes *from*.
+//! * **`f32` kernels plus one integer exception.** Quantized *types* live
+//!   in `mfdfp-dfp`; this crate is the float world Algorithm 1 quantizes
+//!   *from* — except [`ops::qgemm`], the packed shift-only integer GEMM
+//!   that serves as the deployed hot path (it reuses the same row-parallel
+//!   scheduling machinery as the float GEMM, which is why it lives here).
 //! * **Explicit seeds everywhere** ([`TensorRng`]), so every experiment is
 //!   reproducible.
 //!
@@ -31,7 +34,7 @@
 //! # Ok::<(), mfdfp_tensor::TensorError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 mod init;
@@ -52,6 +55,9 @@ pub use ops::conv::{
 pub use ops::matmul::gemm_parallel;
 pub use ops::matmul::{gemm, gemm_serial, matvec, Transpose};
 pub use ops::pool::{pool_backward, pool_forward, PoolGeometry, PoolKind};
+#[cfg(feature = "parallel")]
+pub use ops::qgemm::qgemm_parallel;
+pub use ops::qgemm::{qgemm, qgemm_into, qgemm_serial};
 pub use ops::reduce::{
     argmax_rows, log_softmax, softmax, softmax_with_temperature, sum_axis0, topk_rows,
 };

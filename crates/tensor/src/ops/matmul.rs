@@ -1,6 +1,6 @@
 //! Dense matrix multiplication (GEMM) with optional operand transposes.
 //!
-//! All entry points funnel into one row-range kernel ([`gemm_rows`]): the
+//! All entry points funnel into one row-range kernel (`gemm_rows`): the
 //! serial path runs it once over every row, the `parallel` feature splits
 //! the output rows across `std::thread::scope` workers. Because each output
 //! element is accumulated in the same (ascending-`p`) order regardless of

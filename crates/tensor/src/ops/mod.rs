@@ -3,4 +3,5 @@
 pub mod conv;
 pub mod matmul;
 pub mod pool;
+pub mod qgemm;
 pub mod reduce;

@@ -1,0 +1,532 @@
+//! Shift-only GEMM over packed 4-bit power-of-two weight codes — the
+//! paper's signature operation, specialised for its encoding.
+//!
+//! The decode-based datapath model (`mac_reduce` in `mfdfp-accel`) unpacks
+//! every nibble to a `Pow2Weight` and dispatches a per-element
+//! [`mul_shift`](mfdfp_dfp::Pow2Weight::mul_shift); correct, but the
+//! hottest loop in the system pays decode and branch cost on every
+//! synapse. This kernel instead streams the packed bytes of a
+//! [`PackedPow2Matrix`] and resolves each nibble code `c` through two
+//! 16-entry tables — **no branch and no multiply anywhere in the loop**:
+//!
+//! * `SHIFT[c]` — the left-shift amount `e + 7 ∈ [0, 7]` (bits 2..0 of
+//!   the code store `−e`),
+//! * `SIGN_MASK[c]` — an all-ones/all-zero mask (bit 3 of the code stores
+//!   the sign); the product is `((x << SHIFT[c]) ^ m) − m`, the classic
+//!   branch-free negate-by-mask, splitting each contribution onto the
+//!   positive or negative side of the accumulation.
+//!
+//! The loop nest is arranged so the table lookups happen **once per
+//! weight nibble, not once per MAC**: activations arrive in the standard
+//! im2col layout (`k × ncols`, one synapse's values across all output
+//! columns contiguous), the nibble's shift amount and sign mask hoist out
+//! of the column loop, and what remains per MAC is `shift, xor, sub, add`
+//! with a loop-invariant shift count — a shape LLVM auto-vectorizes.
+//! Partial sums accumulate in 32-bit lanes (products fit 16 bits, so
+//! 2^14-synapse chunks cannot overflow) and flush to the 64-bit
+//! accumulator per chunk; the row result plus bias is routed to the 8-bit
+//! output exactly like the hardware's "Accumulator & Routing" block.
+//! Because the products are the same integers the decode path computes
+//! and integer addition is associative, the result is **bit-identical**
+//! to the decode-based reference for every input (property-tested in
+//! `crates/accel/tests/qgemm_equivalence.rs`).
+//!
+//! Audits: operands are checked against the 9-bit bound that keeps every
+//! shifted product inside the 16-bit product register, and each routed
+//! accumulator is checked against the 32-bit accumulator register —
+//! [`TensorError::QuantizedOverflow`] mirrors the decode path's
+//! per-level overflow audits at kernel granularity. The bit-identical
+//! contract is over **successful** results: the decode path audits the
+//! 32-bit accumulator after every 16-product chunk, this kernel audits
+//! the final per-output sum, so a layer whose same-sign partials
+//! transiently exceed 2^31 before cancelling back (needs > 2^16 synapses
+//! of worst-case magnitude — far beyond any layer here, whose bound the
+//! `Accumulator` docs derive as ≤ 2^26) can error on one path and route
+//! on the other.
+
+use mfdfp_dfp::{fits_in_bits, realign, saturate, PackedPow2Matrix, ACCUMULATOR_BITS};
+
+use crate::error::{Result, TensorError};
+
+/// Left-shift amount per 4-bit code: `e + 7` where `e = −(code & 7)`.
+const SHIFT: [u32; 16] = build_shift_table();
+/// Negate-by-mask operand per 4-bit code: `-1` (all ones) for
+/// negative-sign codes (bit 3 set), `0` otherwise; the signed product is
+/// `(shifted ^ mask) − mask`.
+const SIGN_MASK: [i32; 16] = build_sign_table();
+
+/// Largest activation magnitude whose worst-case product (`x << 7`) still
+/// fits the 16-bit product register: `x ∈ [−256, 255]`. 8-bit activation
+/// codes are comfortably inside.
+const X_BITS: u8 = 9;
+
+/// Synapse-chunk length for the 32-bit partial accumulators: products fit
+/// 16 bits, so `2^14` of them can reach at most `2^30` in magnitude —
+/// safely inside `i32` — before flushing to the 64-bit accumulator.
+const ACC32_CHUNK: usize = 1 << 14;
+
+const fn build_shift_table() -> [u32; 16] {
+    let mut t = [0u32; 16];
+    let mut c = 0;
+    while c < 16 {
+        t[c] = 7 - (c as u32 & 7);
+        c += 1;
+    }
+    t
+}
+
+const fn build_sign_table() -> [i32; 16] {
+    let mut t = [0i32; 16];
+    let mut c = 0;
+    while c < 16 {
+        t[c] = if c & 8 != 0 { -1 } else { 0 };
+        c += 1;
+    }
+    t
+}
+
+/// Shape/operand validation shared by every entry point; returns the
+/// inner dimension `k`.
+fn qgemm_check(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    out_len: usize,
+) -> Result<usize> {
+    let k = w.cols();
+    if row0 + rows > w.rows() {
+        return Err(TensorError::BadGeometry(format!(
+            "qgemm row band {row0}..{} exceeds {} weight rows",
+            row0 + rows,
+            w.rows()
+        )));
+    }
+    if xt.len() != ncols * k {
+        return Err(TensorError::DataLength { expected: ncols * k, actual: xt.len() });
+    }
+    if bias.len() != rows {
+        return Err(TensorError::DataLength { expected: rows, actual: bias.len() });
+    }
+    if out_len != rows * ncols {
+        return Err(TensorError::DataLength { expected: rows * ncols, actual: out_len });
+    }
+    for &x in xt {
+        if !fits_in_bits(x as i64, X_BITS) {
+            return Err(TensorError::QuantizedOverflow { value: x as i64, bits: X_BITS });
+        }
+    }
+    Ok(k)
+}
+
+/// The serial band kernel: computes output rows `[band0, band0 + rows)` of
+/// the packed product into `out` (`rows × ncols`, row-major activation
+/// codes). `bias` is indexed relative to the band.
+///
+/// Loop nest: per weight nibble, the shift amount and sign mask are
+/// resolved **once** and applied across the whole activation row (the
+/// im2col layout makes that row contiguous); the per-MAC body is
+/// `shift, xor, sub, add` with a loop-invariant shift count — branch-free,
+/// multiplier-free, and auto-vectorizable. Each synapse contributes on
+/// its sign's side of the accumulation via negate-by-mask; the pad nibble
+/// of an odd-length row is never read because `c` stops at `cols`.
+#[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
+fn qgemm_band(
+    w: &PackedPow2Matrix,
+    band0: usize,
+    rows: usize,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
+    let k = w.cols();
+    let mut acc64 = vec![0i64; ncols];
+    let mut acc32 = vec![0i32; ncols];
+    for r in 0..rows {
+        let wrow = w.row_bytes(band0 + r);
+        acc64.fill(bias[r]);
+        for c0 in (0..k).step_by(ACC32_CHUNK) {
+            let c1 = (c0 + ACC32_CHUNK).min(k);
+            acc32.fill(0);
+            for c in c0..c1 {
+                let code = ((wrow[c >> 1] >> ((c & 1) * 4)) & 0xF) as usize;
+                let sh = SHIFT[code];
+                let m = SIGN_MASK[code];
+                let xrow = &xt[c * ncols..(c + 1) * ncols];
+                for (a, &x) in acc32.iter_mut().zip(xrow) {
+                    *a += ((x << sh) ^ m) - m;
+                }
+            }
+            for (a64, &a32) in acc64.iter_mut().zip(&acc32) {
+                *a64 += a32 as i64;
+            }
+        }
+        let orow = &mut out[r * ncols..(r + 1) * ncols];
+        for (o, &acc) in orow.iter_mut().zip(&acc64) {
+            if !fits_in_bits(acc, ACCUMULATOR_BITS) {
+                return Err(TensorError::QuantizedOverflow { value: acc, bits: ACCUMULATOR_BITS });
+            }
+            *o = saturate(realign(acc, acc_frac, out_frac), 8) as i8;
+        }
+    }
+    Ok(())
+}
+
+/// Computes output rows `[row0, row0 + rows)` of the packed shift-only
+/// product `out = route(W · Xᵀ + bias)` into a caller-provided buffer.
+///
+/// * `w` — packed `R × k` power-of-two weight matrix; the band selects
+///   rows `row0..row0 + rows` (e.g. one group of a grouped convolution).
+/// * `xt` — the activation matrix in the standard im2col layout:
+///   `k × ncols` row-major, so one synapse's activations across all
+///   `ncols` output columns are contiguous (`xt[c * ncols + j]`) and the
+///   per-nibble tables hoist out of the column loop.
+/// * `bias` — `rows` accumulator-format biases (fractional length
+///   `acc_frac`), relative to the band.
+/// * `acc_frac`/`out_frac` — the radix control signals `m + 7` and `n` of
+///   the routing stage; `out` receives saturated 8-bit activation codes.
+///
+/// With the `parallel` cargo feature, bands whose work crosses the shared
+/// `par` module threshold are split by output row across OS threads —
+/// bit-identical to the serial kernel (integer accumulation is
+/// order-independent and the kernel fixes per-element order anyway).
+///
+/// # Errors
+///
+/// [`TensorError::BadGeometry`]/[`TensorError::DataLength`] on shape
+/// mismatches, [`TensorError::QuantizedOverflow`] if an operand exceeds 9
+/// bits or an accumulator leaves its 32-bit register.
+#[allow(clippy::too_many_arguments)] // kernel entry: slices + full index frame
+pub fn qgemm_into(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
+    let _k = qgemm_check(w, row0, rows, xt, ncols, bias, out.len())?;
+    #[cfg(feature = "parallel")]
+    if rows >= 2
+        && rows * _k.max(1) * ncols.max(1) >= crate::par::MIN_MACS
+        && crate::par::threads() >= 2
+    {
+        return qgemm_band_parallel(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out);
+    }
+    qgemm_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
+}
+
+/// Row-parallel band execution over `par::for_each_row_chunk`.
+/// The first audit failure (if any) wins; chunks are disjoint so no
+/// synchronisation beyond the error slot is needed.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
+fn qgemm_band_parallel(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
+    let error = std::sync::Mutex::new(None);
+    crate::par::for_each_row_chunk(out, rows, ncols, |r0, nrows, chunk| {
+        if let Err(e) = qgemm_band(
+            w,
+            row0 + r0,
+            nrows,
+            xt,
+            ncols,
+            &bias[r0..r0 + nrows],
+            acc_frac,
+            out_frac,
+            chunk,
+        ) {
+            error.lock().expect("qgemm error slot poisoned").get_or_insert(e);
+        }
+    });
+    match error.into_inner().expect("qgemm error slot poisoned") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Packed shift-only GEMM over the whole weight matrix:
+/// `out[r, j] = route(Σ_c w[r, c] · xt[c, j] + bias[r])`, returned as a
+/// `rows × ncols` row-major vector of 8-bit activation codes (`xt` is the
+/// `k × ncols` im2col activation matrix — see [`qgemm_into`]).
+///
+/// This is the dispatching entry point: with the `parallel` feature,
+/// products above the shared `par` module work threshold fan output
+/// rows across OS threads; smaller products (and the default build) run
+/// [`qgemm_serial`]'s kernel. Results are bit-identical either way.
+///
+/// # Errors
+///
+/// See [`qgemm_into`].
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::{PackedPow2Matrix, Pow2Weight};
+/// use mfdfp_tensor::ops::qgemm::qgemm;
+///
+/// // 1×2 weight row [0.5, −1] against one activation column [64, 10].
+/// let w = PackedPow2Matrix::from_f32(1, 2, &[0.5, -1.0])?;
+/// let x = [64i32, 10];
+/// // Products carry 7 extra fractional bits (mul_shift semantics):
+/// let acc: i64 = Pow2Weight::from_f32(0.5).mul_shift(x[0]) as i64
+///     + Pow2Weight::from_f32(-1.0).mul_shift(x[1]) as i64;
+/// // Route from fractional length 7+7 back to 7: divide by 2^7.
+/// let out = qgemm(&w, &x, 1, &[0], 7 + 7, 7)?;
+/// assert_eq!(out, vec![(acc >> 7) as i8]); // (64·0.5 − 10) = 22
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn qgemm(
+    w: &PackedPow2Matrix,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+) -> Result<Vec<i8>> {
+    let mut out = vec![0i8; w.rows() * ncols];
+    qgemm_into(w, 0, w.rows(), xt, ncols, bias, acc_frac, out_frac, &mut out)?;
+    Ok(out)
+}
+
+/// Single-threaded packed GEMM — the deterministic reference schedule
+/// (the kernel itself is shared with the parallel path).
+///
+/// # Errors
+///
+/// See [`qgemm_into`].
+pub fn qgemm_serial(
+    w: &PackedPow2Matrix,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+) -> Result<Vec<i8>> {
+    let rows = w.rows();
+    let mut out = vec![0i8; rows * ncols];
+    qgemm_check(w, 0, rows, xt, ncols, bias, out.len())?;
+    qgemm_band(w, 0, rows, xt, ncols, bias, acc_frac, out_frac, &mut out)?;
+    Ok(out)
+}
+
+/// Forced row-parallel packed GEMM, regardless of the work threshold.
+/// Bit-identical to [`qgemm_serial`] for every input; prefer [`qgemm`],
+/// which only pays thread spawn-up when the product can repay it.
+///
+/// # Errors
+///
+/// See [`qgemm_into`].
+#[cfg(feature = "parallel")]
+pub fn qgemm_parallel(
+    w: &PackedPow2Matrix,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+) -> Result<Vec<i8>> {
+    let rows = w.rows();
+    let mut out = vec![0i8; rows * ncols];
+    qgemm_check(w, 0, rows, xt, ncols, bias, out.len())?;
+    qgemm_band_parallel(w, 0, rows, xt, ncols, bias, acc_frac, out_frac, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfdfp_dfp::Pow2Weight;
+
+    /// Decode-based oracle mirroring `mac_reduce`: per-element
+    /// `mul_shift`, i64 accumulate, bias, realign + saturate.
+    fn reference(
+        w: &PackedPow2Matrix,
+        xt: &[i32],
+        ncols: usize,
+        bias: &[i64],
+        acc_frac: i32,
+        out_frac: i32,
+    ) -> Vec<i8> {
+        let k = w.cols();
+        let mut out = Vec::with_capacity(w.rows() * ncols);
+        for (r, &b) in bias.iter().enumerate() {
+            for j in 0..ncols {
+                let mut acc = b;
+                for c in 0..k {
+                    acc += w.get(r, c).mul_shift(xt[c * ncols + j]) as i64;
+                }
+                out.push(saturate(realign(acc, acc_frac, out_frac), 8) as i8);
+            }
+        }
+        out
+    }
+
+    fn codes_matrix(rows: usize, cols: usize, seed: u64) -> PackedPow2Matrix {
+        let mut state = seed | 1;
+        let ws: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Pow2Weight::decode4((state % 16) as u8).unwrap()
+            })
+            .collect();
+        PackedPow2Matrix::from_weights(rows, cols, &ws).unwrap()
+    }
+
+    fn inputs(n: usize, seed: u64) -> Vec<i32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 256) as u8 as i8 as i32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_decode_reference_across_geometries() {
+        for (rows, cols, ncols) in
+            [(1, 1, 1), (3, 7, 5), (4, 16, 2), (5, 9, 9), (2, 33, 3), (8, 8, 1)]
+        {
+            let w = codes_matrix(rows, cols, (rows * 31 + cols * 7 + ncols) as u64);
+            let xt = inputs(ncols * cols, 99);
+            let bias: Vec<i64> = (0..rows).map(|r| (r as i64 - 2) * 100).collect();
+            let got = qgemm(&w, &xt, ncols, &bias, 13, 4).unwrap();
+            let want = reference(&w, &xt, ncols, &bias, 13, 4);
+            assert_eq!(got, want, "rows={rows} cols={cols} ncols={ncols}");
+        }
+    }
+
+    #[test]
+    fn zero_row_and_zero_col_matrices() {
+        let w = codes_matrix(0, 5, 3);
+        assert_eq!(qgemm(&w, &inputs(10, 1), 2, &[], 10, 3).unwrap(), vec![]);
+        let w = codes_matrix(4, 0, 3);
+        // k = 0: every output is just its routed bias (frac 14 → frac 7).
+        let out = qgemm(&w, &[], 3, &[0, 1 << 7, -(1 << 7), 1 << 20], 14, 7).unwrap();
+        assert_eq!(out.len(), 12);
+        assert_eq!(&out[..3], &[0, 0, 0]);
+        assert_eq!(&out[3..6], &[1, 1, 1]);
+        assert_eq!(&out[6..9], &[-1, -1, -1]);
+        assert_eq!(&out[9..], &[127, 127, 127], "oversized bias must saturate");
+        // ncols = 0 is also legal and produces an empty output.
+        let w = codes_matrix(2, 3, 5);
+        assert_eq!(qgemm(&w, &[], 0, &[0, 0], 10, 3).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn single_element_matrix() {
+        for code in 0..16u8 {
+            let wgt = Pow2Weight::decode4(code).unwrap();
+            let w = PackedPow2Matrix::from_weights(1, 1, &[wgt]).unwrap();
+            for x in [-128i32, -1, 0, 1, 127] {
+                let out = qgemm(&w, &[x], 1, &[0], 7, 7).unwrap();
+                let want = saturate(realign(wgt.mul_shift(x) as i64, 7, 7), 8) as i8;
+                assert_eq!(out, vec![want], "code={code} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_column_pad_nibble_is_inert() {
+        // cols = 3: the pad nibble decodes to +1, the worst possible
+        // contamination if it ever entered the sum.
+        let w = codes_matrix(4, 3, 17);
+        let xt = inputs(3 * 6, 23);
+        let bias = vec![0i64; 4];
+        let got = qgemm(&w, &xt, 6, &bias, 10, 3).unwrap();
+        assert_eq!(got, reference(&w, &xt, 6, &bias, 10, 3));
+    }
+
+    #[test]
+    fn all_minimum_exponent_weights() {
+        // exp = −7 ⇒ shift amount 0: products equal ±x exactly.
+        let ws: Vec<Pow2Weight> = (0..8)
+            .map(|i| {
+                let code = if i % 2 == 0 { 7u8 } else { 0x8 | 7 }; // ±2^−7
+                Pow2Weight::decode4(code).unwrap()
+            })
+            .collect();
+        let w = PackedPow2Matrix::from_weights(2, 4, &ws).unwrap();
+        let xt = inputs(4, 7);
+        let got = qgemm(&w, &xt, 1, &[0, 0], 7, 7).unwrap();
+        assert_eq!(got, reference(&w, &xt, 1, &[0, 0], 7, 7));
+    }
+
+    #[test]
+    fn saturating_accumulator_routes_to_rails() {
+        // All +1 weights on all-max inputs with a large upscale: the
+        // routed value flies past the 8-bit rails on both sides.
+        let w = PackedPow2Matrix::from_f32(2, 16, &[1.0; 32]).unwrap();
+        let hi = vec![127i32; 16];
+        let lo = vec![-128i32; 16];
+        assert_eq!(qgemm(&w, &hi, 1, &[0, 0], 7, 7).unwrap(), vec![127, 127]);
+        assert_eq!(qgemm(&w, &lo, 1, &[0, 0], 7, 7).unwrap(), vec![-128, -128]);
+    }
+
+    #[test]
+    fn audits_operand_width_and_shapes() {
+        let w = codes_matrix(2, 4, 9);
+        let bias = vec![0i64; 2];
+        // 9-bit operand bound: 255 passes, 256 is rejected.
+        let mut xt = inputs(4, 5);
+        xt[1] = 255;
+        assert!(qgemm(&w, &xt, 1, &bias, 10, 3).is_ok());
+        xt[1] = 256;
+        assert!(matches!(
+            qgemm(&w, &xt, 1, &bias, 10, 3),
+            Err(TensorError::QuantizedOverflow { value: 256, bits: 9 })
+        ));
+        // Shape mismatches.
+        assert!(qgemm(&w, &inputs(3, 5), 1, &bias, 10, 3).is_err());
+        assert!(qgemm(&w, &inputs(4, 5), 1, &[0], 10, 3).is_err());
+        let mut out = vec![0i8; 5];
+        assert!(qgemm_into(&w, 0, 2, &inputs(4, 5), 1, &bias, 10, 3, &mut out).is_err());
+        assert!(qgemm_into(&w, 1, 2, &inputs(4, 5), 1, &bias, 10, 3, &mut out[..2]).is_err());
+    }
+
+    #[test]
+    fn row_band_matches_full_product() {
+        let w = codes_matrix(6, 10, 41);
+        let xt = inputs(10 * 4, 3);
+        let bias: Vec<i64> = (0..6).map(|r| r as i64 * 64).collect();
+        let full = qgemm(&w, &xt, 4, &bias, 12, 5).unwrap();
+        for (row0, rows) in [(0usize, 2usize), (2, 3), (5, 1), (0, 6)] {
+            let mut band = vec![0i8; rows * 4];
+            qgemm_into(&w, row0, rows, &xt, 4, &bias[row0..row0 + rows], 12, 5, &mut band).unwrap();
+            assert_eq!(band, full[row0 * 4..(row0 + rows) * 4], "band {row0}+{rows}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_bit_identical_to_serial() {
+        let w = codes_matrix(23, 17, 77);
+        let xt = inputs(17 * 9, 13);
+        let bias: Vec<i64> = (0..23).map(|r| (r as i64 - 11) * 32).collect();
+        let s = qgemm_serial(&w, &xt, 9, &bias, 13, 4).unwrap();
+        let p = qgemm_parallel(&w, &xt, 9, &bias, 13, 4).unwrap();
+        assert_eq!(s, p);
+    }
+}

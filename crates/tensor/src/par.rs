@@ -37,9 +37,14 @@ pub fn threads() -> usize {
 /// Splits `out` (an `m × n` row-major buffer) into contiguous row chunks
 /// and runs `kernel(row0, rows, chunk)` on each chunk from its own scoped
 /// thread. Runs inline when a single chunk covers the whole buffer.
-pub fn for_each_row_chunk<F>(out: &mut [f32], m: usize, n: usize, kernel: F)
+///
+/// Generic over the element type so the same fan-out drives the `f32`
+/// GEMM/conv kernels and the `i8` activation-code buffers of the packed
+/// quantized kernel ([`crate::ops::qgemm`]).
+pub fn for_each_row_chunk<T, F>(out: &mut [T], m: usize, n: usize, kernel: F)
 where
-    F: Fn(usize, usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
 {
     debug_assert_eq!(out.len(), m * n);
     // Degenerate extents (m == 0 or n == 0): nothing to fan out, and

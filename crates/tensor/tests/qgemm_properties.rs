@@ -1,0 +1,132 @@
+//! Property tests of the packed shift-only GEMM: agreement with the
+//! decode-based `mul_shift` oracle for arbitrary shapes (including the
+//! odd-column pad nibble at every row boundary), and scheduling
+//! determinism (serial ≡ parallel, band ≡ full product).
+
+use mfdfp_dfp::{realign, saturate, PackedPow2Matrix, Pow2Weight};
+use mfdfp_tensor::{qgemm, qgemm_into, qgemm_serial};
+use proptest::prelude::*;
+
+/// Decode-based oracle: per-element `Pow2Weight::mul_shift`, exact i64
+/// accumulation, bias, then the routing realign + saturate.
+fn decode_oracle(
+    w: &PackedPow2Matrix,
+    xt: &[i32],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+) -> Vec<i8> {
+    let k = w.cols();
+    let mut out = Vec::with_capacity(w.rows() * ncols);
+    for (r, &b) in bias.iter().enumerate() {
+        for j in 0..ncols {
+            let mut acc = b;
+            for c in 0..k {
+                acc += w.get(r, c).mul_shift(xt[c * ncols + j]) as i64;
+            }
+            out.push(saturate(realign(acc, acc_frac, out_frac), 8) as i8);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// qgemm == decode oracle for random shapes, codes and inputs.
+    /// `cols` spans odd and even values so the row-boundary pad nibble is
+    /// exercised constantly; `acc_frac`/`out_frac` spans down- and
+    /// up-routing (the latter saturates frequently).
+    #[test]
+    fn qgemm_matches_decode_oracle(
+        rows in 1usize..7,
+        cols in 1usize..34,
+        ncols in 1usize..6,
+        seed in 0u64..100_000,
+        acc_frac in 7i32..15,
+        out_frac in 0i32..8,
+    ) {
+        let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let codes: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let w = PackedPow2Matrix::from_weights(rows, cols, &codes).unwrap();
+        let xt: Vec<i32> = (0..ncols * cols).map(|_| (next() % 256) as u8 as i8 as i32).collect();
+        let bias: Vec<i64> = (0..rows).map(|_| (next() % 8192) as i64 - 4096).collect();
+        let got = qgemm(&w, &xt, ncols, &bias, acc_frac, out_frac).unwrap();
+        prop_assert_eq!(got, decode_oracle(&w, &xt, ncols, &bias, acc_frac, out_frac));
+    }
+
+    /// Any row band of the product equals the corresponding slice of the
+    /// full product — the invariant grouped convolutions rely on.
+    #[test]
+    fn row_bands_compose_to_full_product(
+        rows in 2usize..8,
+        cols in 1usize..20,
+        ncols in 1usize..5,
+        seed in 0u64..100_000,
+        split in 1usize..7,
+    ) {
+        let split = split.min(rows - 1);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let codes: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let w = PackedPow2Matrix::from_weights(rows, cols, &codes).unwrap();
+        let xt: Vec<i32> = (0..ncols * cols).map(|_| (next() % 200) as i32 - 100).collect();
+        let bias: Vec<i64> = (0..rows).map(|r| r as i64 * 17 - 40).collect();
+        let full = qgemm(&w, &xt, ncols, &bias, 12, 4).unwrap();
+        let mut pieced = vec![0i8; rows * ncols];
+        let (lo, hi) = pieced.split_at_mut(split * ncols);
+        qgemm_into(&w, 0, split, &xt, ncols, &bias[..split], 12, 4, lo).unwrap();
+        qgemm_into(&w, split, rows - split, &xt, ncols, &bias[split..], 12, 4, hi).unwrap();
+        prop_assert_eq!(pieced, full);
+    }
+
+    /// Scheduling determinism: the dispatching entry point, the serial
+    /// kernel and (with the feature) the forced-parallel kernel all emit
+    /// identical bytes.
+    #[test]
+    fn qgemm_schedules_are_bit_identical(
+        rows in 1usize..20,
+        cols in 1usize..16,
+        ncols in 1usize..6,
+        seed in 0u64..100_000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let codes: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let w = PackedPow2Matrix::from_weights(rows, cols, &codes).unwrap();
+        let xt: Vec<i32> = (0..ncols * cols).map(|_| (next() % 256) as u8 as i8 as i32).collect();
+        let bias: Vec<i64> = (0..rows).map(|_| (next() % 1024) as i64 - 512).collect();
+        let dispatch = qgemm(&w, &xt, ncols, &bias, 13, 5).unwrap();
+        let serial = qgemm_serial(&w, &xt, ncols, &bias, 13, 5).unwrap();
+        prop_assert_eq!(&dispatch, &serial);
+        #[cfg(feature = "parallel")]
+        {
+            let parallel =
+                mfdfp_tensor::qgemm_parallel(&w, &xt, ncols, &bias, 13, 5).unwrap();
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+}
