@@ -7,8 +7,8 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
 //! * range strategies (`-1.0f32..1.0`, `0u8..16`, `-128i32..=127`, …),
-//! * tuple strategies and [`Strategy::prop_map`],
-//! * [`collection::vec`] with a fixed size or a size range,
+//! * tuple strategies and `Strategy::prop_map`,
+//! * `collection::vec` with a fixed size or a size range,
 //! * `num::f32::{ANY, NORMAL}`, `num::<int>::ANY`, `bool::ANY`.
 //!
 //! Unlike real proptest there is no shrinking: a failing case panics with
@@ -322,7 +322,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a half-open /
+    /// Length specification for [`vec()`]: an exact `usize` or a half-open /
     /// inclusive range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
