@@ -1,0 +1,152 @@
+//! Intra-repo markdown link checker.
+//!
+//! Walks every `*.md` file under the current directory (skipping
+//! `target/` and `.git/`), extracts inline markdown link targets
+//! (`[text](target)`, including images), and verifies that every
+//! *relative* target resolves to an existing file or directory.
+//! External URLs (`http://`, `https://`, `mailto:`) and pure in-page
+//! anchors (`#…`) are skipped; a `path#fragment` target is checked for
+//! the path part only.
+//!
+//! Exit status is non-zero if any link is broken, so CI can gate on it:
+//!
+//! ```text
+//! cargo run -p mfdfp-bench --bin linkcheck --release
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// A broken link: file, 1-based line, raw target.
+#[derive(Debug, PartialEq, Eq)]
+struct Broken {
+    file: PathBuf,
+    line: usize,
+    target: String,
+}
+
+/// Collects every `*.md` under `root`, skipping VCS and build output.
+fn markdown_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                markdown_files(&path, out);
+            }
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the targets of inline links `](target)` from one line.
+/// Markdown permits an optional quoted title (`](a.md "title")`); the
+/// target is the part before the first whitespace.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(rel_end) = line[start..].find(')') {
+                let raw = &line[start..start + rel_end];
+                let target = raw.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    targets.push(target.to_string());
+                }
+                i = start + rel_end;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Whether a target is in scope for filesystem checking.
+fn is_relative_file_target(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#'))
+}
+
+/// Checks every relative link of one markdown file against the
+/// filesystem; appends failures to `broken`.
+fn check_file(path: &Path, broken: &mut Vec<Broken>) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let mut in_code_fence = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence {
+            continue;
+        }
+        for target in link_targets(line) {
+            if !is_relative_file_target(&target) {
+                continue;
+            }
+            let file_part = target.split('#').next().unwrap_or("");
+            if file_part.is_empty() {
+                continue;
+            }
+            if !dir.join(file_part).exists() {
+                broken.push(Broken {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    target: target.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut files = Vec::new();
+    markdown_files(Path::new("."), &mut files);
+    files.sort();
+    let mut broken = Vec::new();
+    for file in &files {
+        check_file(file, &mut broken);
+    }
+    println!("linkcheck: {} markdown files scanned", files.len());
+    if broken.is_empty() {
+        println!("linkcheck: all intra-repo links resolve");
+        return;
+    }
+    for b in &broken {
+        eprintln!("BROKEN {}:{} -> {}", b.file.display(), b.line, b.target);
+    }
+    eprintln!("linkcheck: {} broken link(s)", broken.len());
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_and_image_targets() {
+        let line = "see [a](x.md) and ![img](pic.png \"title\") plus [b](http://x)";
+        assert_eq!(link_targets(line), vec!["x.md", "pic.png", "http://x"]);
+    }
+
+    #[test]
+    fn skips_externals_and_anchors() {
+        assert!(!is_relative_file_target("https://example.com"));
+        assert!(!is_relative_file_target("#section"));
+        assert!(!is_relative_file_target("mailto:a@b.c"));
+        assert!(is_relative_file_target("ARCHITECTURE.md"));
+        assert!(is_relative_file_target("crates/rt/src/lib.rs"));
+    }
+
+    #[test]
+    fn empty_line_has_no_targets() {
+        assert!(link_targets("plain text, no links").is_empty());
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use mfdfp_data::{Batcher, Split, SyntheticDataset};
 use mfdfp_nn::{evaluate, train_epoch, Network, Sgd, SgdConfig};

@@ -38,7 +38,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod analysis;
 mod deploy;

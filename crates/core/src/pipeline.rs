@@ -130,6 +130,45 @@ pub struct PipelineOutcome {
 /// # Errors
 ///
 /// Propagates configuration, calibration and training errors.
+///
+/// # Examples
+///
+/// End to end on a tiny synthetic problem: the paper's hyper-parameters
+/// ([`PipelineConfig::paper_defaults`]) with the epoch budget cut down to
+/// doc-test scale. The outcome carries the deployed integer network, the
+/// fine-tuned float master and the Figure-3-style per-epoch trajectory.
+///
+/// ```
+/// use mfdfp_core::{run_pipeline, PhaseTag, PipelineConfig};
+/// use mfdfp_data::{Split, SynthSpec};
+/// use mfdfp_tensor::TensorRng;
+///
+/// // 2-class, 1×16×16 synthetic data and a matching tiny topology.
+/// let spec = SynthSpec {
+///     classes: 2, channels: 1, size: 16, per_class: 6,
+///     noise: 0.2, max_shift: 1, seed: 7,
+/// };
+/// let split = Split::generate(&spec, 4);
+/// let mut rng = TensorRng::seed_from(3);
+/// let float_net = mfdfp_nn::zoo::quick_custom(1, 16, [2, 2, 2], 4, 2, &mut rng)?;
+///
+/// let cfg = PipelineConfig {
+///     phase1_epochs: 2,   // paper defaults, doc-test epoch budget
+///     phase2_epochs: 1,
+///     batch_size: 4,
+///     eval_k: 1,
+///     ..PipelineConfig::paper_defaults()
+/// };
+/// let outcome = run_pipeline(float_net, &split.train, &split.test, &cfg)?;
+///
+/// // Phase 1 ran; the trajectory records loss/error/learning-rate.
+/// assert!(outcome.history.iter().any(|p| p.phase == PhaseTag::Phase1));
+/// // The deployed artifact answers integer-only inference end to end.
+/// let (image, _label) = split.test.sample(0);
+/// let logits = outcome.qnet.logits(image)?;
+/// assert_eq!(logits.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn run_pipeline(
     float_net: Network,
     train: &SyntheticDataset,

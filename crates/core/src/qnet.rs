@@ -331,30 +331,39 @@ impl QuantizedNet {
         images.iter().map(|img| self.forward_codes_from(img)).collect()
     }
 
-    /// Batch-parallel dispatch: contiguous chunks of images per worker,
-    /// joined in batch order. Falls back to the serial loop when only one
-    /// thread is available or the batch is a single image.
+    /// Batch-parallel dispatch on the persistent `mfdfp-rt` pool:
+    /// contiguous chunks of images per task, results stitched back in
+    /// batch order (chunk boundaries depend only on the pool width, so
+    /// the output is a pure function of `MFDFP_THREADS`). Falls back to
+    /// the serial loop when only one thread is available or the batch is
+    /// a single image. Task panics propagate through the pool scope,
+    /// matching the scoped-thread behaviour this replaced.
     #[cfg(feature = "parallel")]
     fn run_images(&self, images: &[&[f32]]) -> Result<Vec<Vec<i8>>> {
-        let workers = mfdfp_tensor::par::threads().min(images.len());
+        // Single-image batches never dispatch — bail before touching the
+        // global pool so a process doing only one-at-a-time inference
+        // never spawns workers (the pool stays truly lazy).
+        if images.len() < 2 {
+            return images.iter().map(|img| self.forward_codes_from(img)).collect();
+        }
+        let pool = mfdfp_rt::global();
+        let workers = pool.threads().min(images.len());
         if workers < 2 {
             return images.iter().map(|img| self.forward_codes_from(img)).collect();
         }
         let chunk = images.len().div_ceil(workers);
-        let chunk_results: Vec<Result<Vec<Vec<i8>>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = images
-                .chunks(chunk)
-                .map(|imgs| {
-                    scope.spawn(move || {
-                        imgs.iter().map(|img| self.forward_codes_from(img)).collect()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("inference worker panicked")).collect()
+        let mut chunk_results: Vec<Option<Result<Vec<Vec<i8>>>>> =
+            images.chunks(chunk).map(|_| None).collect();
+        pool.scope(|scope| {
+            for (slot, imgs) in chunk_results.iter_mut().zip(images.chunks(chunk)) {
+                scope.spawn(move || {
+                    *slot = Some(imgs.iter().map(|img| self.forward_codes_from(img)).collect());
+                });
+            }
         });
         let mut out = Vec::with_capacity(images.len());
         for r in chunk_results {
-            out.extend(r?);
+            out.extend(r.expect("pool scope completed every chunk")?);
         }
         Ok(out)
     }

@@ -54,6 +54,37 @@ impl QuantizationPlan {
 ///
 /// Returns [`CoreError::Unquantizable`] if the network contains LRN or
 /// pre-existing fake-quant layers, and propagates forward-pass errors.
+///
+/// # Examples
+///
+/// Calibrating a tiny float network on two batches of synthetic images
+/// yields one boundary format per layer — weighted layers pick a fresh
+/// format from the observed ranges (and a bias format), everything else
+/// inherits its input's format:
+///
+/// ```
+/// use mfdfp_core::calibrate;
+/// use mfdfp_data::{Batcher, Split, SynthSpec};
+/// use mfdfp_tensor::TensorRng;
+///
+/// let spec = SynthSpec {
+///     classes: 2, channels: 1, size: 16, per_class: 4,
+///     noise: 0.2, max_shift: 1, seed: 11,
+/// };
+/// let split = Split::generate(&spec, 2);
+/// let mut rng = TensorRng::seed_from(1);
+/// let mut net = mfdfp_nn::zoo::quick_custom(1, 16, [2, 2, 2], 4, 2, &mut rng)?;
+///
+/// let batches: Vec<_> = Batcher::new(&split.train, 4).iter().take(2).collect();
+/// let plan = calibrate(&mut net, &batches, 8)?;
+///
+/// assert_eq!(plan.activation_bits, 8);
+/// assert_eq!(plan.boundary_formats.len(), net.len());
+/// // Exactly the weighted layers carry a bias format.
+/// let weighted = net.layers().iter().filter(|l| l.is_weighted()).count();
+/// assert_eq!(plan.bias_formats.iter().flatten().count(), weighted);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn calibrate(
     net: &mut Network,
     calibration: &[(Tensor, Vec<usize>)],

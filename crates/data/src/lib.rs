@@ -24,7 +24,7 @@
 //! assert_eq!(n, 80);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod augment;
 mod loader;

@@ -36,7 +36,7 @@
 //! # Ok::<(), mfdfp_nn::NnError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 pub mod io;

@@ -17,12 +17,15 @@
 //! 2. **Micro-batching** — worker threads pop a request and linger up to
 //!    [`ServeConfig::max_wait`] to coalesce up to
 //!    [`ServeConfig::max_batch`] requests, then dispatch the batch through
-//!    `QuantizedNet::logits_batch` / `Ensemble::logits_batch` (with the
-//!    `parallel` feature, the batch fans out across the threaded
-//!    GEMM/conv path).
+//!    `QuantizedNet::logits_batch` / `Ensemble::logits_batch`. With the
+//!    `parallel` feature, each per-model group is submitted as a task on
+//!    the persistent `mfdfp-rt` pool — the same pool the GEMM/conv
+//!    kernels fan out on, so no code path ever spawns threads per call
+//!    and the compute footprint is bounded by
+//!    `workers + pool width − 1` threads (see README "Threading model").
 //! 3. **Telemetry** — [`ServerMetrics`] tracks throughput, latency
-//!    percentiles, queue depth and the batch-size histogram;
-//!    [`MetricsSnapshot::to_json`] exports it.
+//!    percentiles, queue depth, the batch-size histogram and the shared
+//!    pool's counters; [`MetricsSnapshot::to_json`] exports it.
 //!
 //! Batching changes *when* images are evaluated, never *what* they
 //! evaluate to: responses are byte-identical to direct `logits` calls

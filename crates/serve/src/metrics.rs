@@ -1,4 +1,5 @@
-//! Serving telemetry: counters, latency percentiles, batch-size histogram.
+//! Serving telemetry: counters, latency percentiles, batch-size histogram,
+//! shared-pool counters.
 //!
 //! All hot-path recording is lock-free (`AtomicU64` with relaxed
 //! ordering — counts need no synchronises-with edges), so metrics cost a
@@ -6,6 +7,13 @@
 //! buckets; percentiles are reported as the matching bucket's upper bound,
 //! which is exact enough for operational monitoring (the load-generator
 //! bench records exact per-request latencies separately).
+//!
+//! Each snapshot also samples the process-wide `mfdfp-rt` pool the tensor
+//! kernels and batch dispatch share ([`mfdfp_rt::global_stats`] — reading
+//! never instantiates the pool, so a metrics poll has no side effects):
+//! `pool_threads` is the pool width (0 until any hot path engages it),
+//! and `pool_tasks_run`/`pool_steals`/`pool_idle_parks` are monotonic
+//! since process start, like the request counters are since server start.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -90,6 +98,7 @@ impl ServerMetrics {
             batch_histogram.pop();
         }
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let pool = mfdfp_rt::global_stats();
         MetricsSnapshot {
             uptime: self.started.elapsed(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -103,6 +112,10 @@ impl ServerMetrics {
             p95_latency_us: percentile_upper_bound(&buckets, 0.95),
             p99_latency_us: percentile_upper_bound(&buckets, 0.99),
             batch_histogram,
+            pool_threads: pool.threads,
+            pool_tasks_run: pool.tasks_run,
+            pool_steals: pool.steals,
+            pool_idle_parks: pool.idle_parks,
         }
     }
 }
@@ -153,6 +166,18 @@ pub struct MetricsSnapshot {
     /// `batch_histogram[i]` = number of dispatched batches of size `i+1`
     /// (trailing zero sizes trimmed).
     pub batch_histogram: Vec<u64>,
+    /// Width of the shared `mfdfp-rt` pool (workers + helping caller);
+    /// `0` until any hot path engages the pool — on a default
+    /// (non-`parallel`) build it stays 0 forever.
+    pub pool_threads: usize,
+    /// Pool tasks run since process start (row chunks, batch-forward
+    /// chunks, dispatched serve groups; counted at execution start, so
+    /// an in-flight task is already included).
+    pub pool_tasks_run: u64,
+    /// Pool tasks executed by a thread other than their submitter.
+    pub pool_steals: u64,
+    /// Times a pool worker parked on an empty queue.
+    pub pool_idle_parks: u64,
 }
 
 impl MetricsSnapshot {
@@ -164,7 +189,11 @@ impl MetricsSnapshot {
 
     /// Serialises the snapshot as a self-contained JSON object (the
     /// vendored `serde` shim does not serialise, so this is hand-rolled —
-    /// stable key order, no trailing separators).
+    /// stable key order, no trailing separators). The `pool` sub-object
+    /// carries the shared runtime-pool counters; its fields are always
+    /// present (zeros when the pool was never engaged) so the schema is
+    /// identical across feature sets — see README "Metrics & capacity
+    /// tuning" for the field semantics.
     pub fn to_json(&self) -> String {
         let hist: Vec<String> = self.batch_histogram.iter().map(u64::to_string).collect();
         format!(
@@ -173,7 +202,9 @@ impl MetricsSnapshot {
                 "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
                 "\"throughput_rps\":{:.2},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
-                "\"batch_histogram\":[{}]}}"
+                "\"batch_histogram\":[{}],",
+                "\"pool\":{{\"threads\":{},\"tasks_run\":{},",
+                "\"steals\":{},\"idle_parks\":{}}}}}"
             ),
             self.uptime.as_secs_f64(),
             self.submitted,
@@ -186,7 +217,11 @@ impl MetricsSnapshot {
             self.p50_latency_us,
             self.p95_latency_us,
             self.p99_latency_us,
-            hist.join(",")
+            hist.join(","),
+            self.pool_threads,
+            self.pool_tasks_run,
+            self.pool_steals,
+            self.pool_idle_parks,
         )
     }
 }
@@ -255,13 +290,35 @@ mod tests {
         m.record_completed(Duration::from_micros(50));
         let json = m.snapshot(1).to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        for key in ["\"submitted\":1", "\"queue_depth\":1", "\"batch_histogram\":[0,1]", "\"p95\":"]
-        {
+        for key in [
+            "\"submitted\":1",
+            "\"queue_depth\":1",
+            "\"batch_histogram\":[0,1]",
+            "\"p95\":",
+            "\"pool\":{\"threads\":",
+            "\"tasks_run\":",
+            "\"idle_parks\":",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the dependency-free workspace).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn pool_fields_are_coherent() {
+        // The snapshot samples the process-wide pool: either nothing has
+        // engaged it yet (all zeros incl. width) or it reports its real
+        // width and monotonic counters.
+        let s = ServerMetrics::new(1).snapshot(0);
+        if s.pool_threads == 0 {
+            assert_eq!((s.pool_tasks_run, s.pool_steals, s.pool_idle_parks), (0, 0, 0));
+        } else {
+            assert!(s.pool_steals <= s.pool_tasks_run);
+        }
+        let later = ServerMetrics::new(1).snapshot(0);
+        assert!(later.pool_tasks_run >= s.pool_tasks_run, "pool counters are monotonic");
     }
 }

@@ -211,12 +211,41 @@ impl Drop for Server {
 /// Drains the queue until close-and-empty: pops coalesced batches, groups
 /// them per model, dispatches each group through the batched quantized
 /// forward, scatters responses.
+///
+/// With the `parallel` feature, each per-model group is submitted to the
+/// shared `mfdfp-rt` pool as one task instead of running unconditionally
+/// on this worker thread: inference executes on the same persistent
+/// threads the GEMM/conv kernels fan out on (no per-call thread
+/// spawning anywhere in the dispatch), and multi-model batches run
+/// their groups concurrently. The scope owner helps execute its own
+/// tasks while it waits — a single-group batch typically runs on the
+/// submitting worker itself (an idle pool worker may win the claim
+/// first, at the cost of one hand-off), and a waiting serve worker is
+/// itself a compute lane: the process computes on at most
+/// `serve workers + pool width − 1` threads (see README "Threading
+/// model" for sizing guidance). Without the feature, groups run inline
+/// and the pool is never engaged.
 fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
     while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
-        for group in partition_by_model(batch) {
-            dispatch_group(group, metrics);
-        }
+        let groups = partition_by_model(batch);
+        run_groups(groups, metrics);
     }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
+    for group in groups {
+        dispatch_group(group, metrics);
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
+    mfdfp_rt::global().scope(|scope| {
+        for group in groups {
+            scope.spawn(move || dispatch_group(group, metrics));
+        }
+    });
 }
 
 /// Splits a popped batch into per-model groups, preserving arrival order

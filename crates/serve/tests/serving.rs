@@ -301,3 +301,40 @@ fn ensemble_and_multi_model_serving() {
     assert!(matches!(server.submit("a", imgs[0].clone()), Err(ServeError::UnknownModel(_))));
     server.shutdown();
 }
+
+/// The metrics snapshot must surface the shared `mfdfp-rt` pool in a
+/// schema-stable way: fields always present; on a `parallel` build the
+/// dispatch path engages the pool (tasks counted, width ≥ 1), on a
+/// default build the pool is never instantiated (width 0, counters 0).
+#[test]
+fn snapshot_surfaces_pool_stats() {
+    let q = tiny_qnet(55);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig { workers: 1, queue_capacity: 16, ..Default::default() },
+    )
+    .unwrap();
+    for img in images(4, 9) {
+        server.submit("tiny", img).unwrap().wait().unwrap();
+    }
+    let snap = server.metrics();
+    let json = snap.to_json();
+    assert!(json.contains("\"pool\":{\"threads\":"), "pool object missing in {json}");
+
+    #[cfg(feature = "parallel")]
+    {
+        // Each dispatched group is one pool task, so 4 single-request
+        // batches must have moved the counter (other suites in this
+        // process may have moved it further; >= is the invariant).
+        assert!(snap.pool_threads >= 1, "parallel dispatch must engage the pool");
+        assert!(snap.pool_tasks_run >= 4, "groups must run as pool tasks");
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        assert_eq!(snap.pool_threads, 0, "default build must never engage the pool");
+        assert_eq!(snap.pool_tasks_run, 0);
+    }
+    server.shutdown();
+}

@@ -351,12 +351,12 @@ pub fn conv2d_forward_serial(
     conv2d_forward_with(input, weights, bias, g, &gemm_serial)
 }
 
-/// Batch-parallel convolution forward: samples are split across
-/// `std::thread::scope` workers, each running the serial GEMM kernel on its
-/// own disjoint output range. Bit-identical to [`conv2d_forward_serial`].
+/// Batch-parallel convolution forward: samples are split across the
+/// persistent `mfdfp-rt` pool, each task running the serial GEMM kernel on
+/// its own disjoint output range. Bit-identical to [`conv2d_forward_serial`].
 ///
 /// Prefer [`conv2d_forward`], which picks this path only when the batch is
-/// large enough to amortise thread spawn-up.
+/// large enough to repay the pool dispatch.
 ///
 /// # Errors
 ///

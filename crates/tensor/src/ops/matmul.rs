@@ -2,7 +2,7 @@
 //!
 //! All entry points funnel into one row-range kernel (`gemm_rows`): the
 //! serial path runs it once over every row, the `parallel` feature splits
-//! the output rows across `std::thread::scope` workers. Because each output
+//! the output rows across the persistent `mfdfp-rt` pool. Because each output
 //! element is accumulated in the same (ascending-`p`) order regardless of
 //! how rows are partitioned, the parallel path is **bit-identical** to the
 //! serial one — determinism is a property of the kernel, not the schedule.
@@ -157,7 +157,7 @@ fn gemm_check(
 /// rank-2 of logical shape `k×n` after applying `tb`. The result is `m×n`.
 ///
 /// With the `parallel` cargo feature enabled, large products are split by
-/// output row across OS threads; the result is bit-identical to
+/// output row across the persistent pool's threads; the result is bit-identical to
 /// [`gemm_serial`] (see the module docs). Without the feature this *is*
 /// the serial kernel.
 ///
@@ -201,13 +201,13 @@ pub fn gemm_serial(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Resu
     Tensor::from_vec(out, Shape::d2(m, n))
 }
 
-/// Multi-threaded GEMM: output rows are split across `std::thread::scope`
-/// workers. Bit-identical to [`gemm_serial`] for every input (the row
-/// kernel fixes the accumulation order; threads only change which core
+/// Multi-threaded GEMM: output rows are split across the persistent
+/// `mfdfp-rt` pool. Bit-identical to [`gemm_serial`] for every input (the
+/// row kernel fixes the accumulation order; threads only change which core
 /// computes which rows).
 ///
 /// Prefer [`gemm`], which falls back to the serial kernel when the product
-/// is too small to amortise thread spawn-up.
+/// is too small to repay even the pool's (spawn-free) dispatch cost.
 ///
 /// # Errors
 ///

@@ -329,7 +329,7 @@ pub fn qgemm_serial(
 
 /// Forced row-parallel packed GEMM, regardless of the work threshold.
 /// Bit-identical to [`qgemm_serial`] for every input; prefer [`qgemm`],
-/// which only pays thread spawn-up when the product can repay it.
+/// which only pays the pool dispatch when the product can repay it.
 ///
 /// # Errors
 ///

@@ -1,61 +1,69 @@
-//! Scoped-thread fan-out helpers behind the `parallel` cargo feature.
+//! Pool-backed fan-out helpers behind the `parallel` cargo feature.
 //!
 //! The build environment has no crates.io access, so instead of `rayon`
-//! this module provides the two primitives the hot path needs — an OS
-//! thread count and a disjoint row-chunk fan-out over `std::thread::scope`.
-//! Work is partitioned into *contiguous row ranges*; the kernels invoked on
-//! each range fix the per-element accumulation order, so results are
-//! bit-identical to a single-threaded run no matter how many workers the
-//! machine offers.
+//! this module provides the two primitives the hot path needs — a worker
+//! count and a disjoint row-chunk fan-out. Work is partitioned into
+//! *contiguous row ranges*; the kernels invoked on each range fix the
+//! per-element accumulation order, so results are bit-identical to a
+//! single-threaded run no matter how many workers the machine offers.
 //!
-//! Threads are spawned per call. That costs tens of microseconds, which is
-//! why callers gate the parallel path behind a work threshold instead of
-//! parallelising every tiny product.
-
-use std::sync::OnceLock;
+//! Chunks run on the persistent process-wide [`mfdfp_rt`] pool: threads
+//! are spawned **once** (lazily, at first dispatch) and parked between
+//! calls, so a dispatch costs a queue push and a wake-up — single-digit
+//! microseconds — instead of the tens of microseconds per-call
+//! `std::thread::scope` spawning used to cost. That is why the dispatch
+//! threshold below sits ~8× lower than it did in the spawn-per-call era.
+//!
+//! Chunk boundaries depend only on `threads()` and the matrix extents —
+//! never on which pool thread runs which chunk — so the partition (and
+//! therefore the result bytes) is a pure function of `MFDFP_THREADS`.
 
 /// Work threshold (in multiply-accumulates) below which the parallel
-/// dispatchers fall back to the serial kernels: thread spawn-up costs tens
-/// of microseconds, which smaller products cannot repay. Shared by the
-/// GEMM and convolution dispatch so the two hot paths stay consistent.
-pub(crate) const MIN_MACS: usize = 1 << 20;
+/// dispatchers fall back to the serial kernels. With per-call thread
+/// spawning this had to be `1 << 20`; on the persistent pool a dispatch
+/// only pays an enqueue + wake (~1–2 µs), so products down to ~128 k
+/// MACs can repay fan-out. Shared by the GEMM, packed-qGEMM and
+/// convolution dispatch so the hot paths stay consistent.
+pub(crate) const MIN_MACS: usize = 1 << 17;
 
-/// Number of worker threads to fan out to (`MFDFP_THREADS` overrides the
-/// detected core count; values of 0 or 1 disable fan-out).
+/// Number of worker lanes to fan out to: the width of the shared
+/// [`mfdfp_rt`] pool (`MFDFP_THREADS` overrides the detected core
+/// count; values of 0 or 1 disable fan-out).
+///
+/// First use instantiates the process-wide pool.
 pub fn threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("MFDFP_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    })
+    mfdfp_rt::global().threads()
 }
 
 /// Splits `out` (an `m × n` row-major buffer) into contiguous row chunks
-/// and runs `kernel(row0, rows, chunk)` on each chunk from its own scoped
-/// thread. Runs inline when a single chunk covers the whole buffer.
+/// and runs `kernel(row0, rows, chunk)` on each chunk as a task on the
+/// shared persistent pool. Runs inline when a single chunk covers the
+/// whole buffer.
 ///
 /// Generic over the element type so the same fan-out drives the `f32`
 /// GEMM/conv kernels and the `i8` activation-code buffers of the packed
 /// quantized kernel ([`crate::ops::qgemm`]).
+///
+/// # Panics
+///
+/// Re-raises the first panic of any chunk kernel after all chunks
+/// completed (the pool scope's contract, matching `std::thread::scope`).
 pub fn for_each_row_chunk<T, F>(out: &mut [T], m: usize, n: usize, kernel: F)
 where
     T: Send,
     F: Fn(usize, usize, &mut [T]) + Sync,
 {
     debug_assert_eq!(out.len(), m * n);
+    let pool = mfdfp_rt::global();
     // Degenerate extents (m == 0 or n == 0): nothing to fan out, and
     // `chunks_mut(0)` would panic.
-    let rows_per_chunk = m.div_ceil(threads().max(1)).max(1);
+    let rows_per_chunk = m.div_ceil(pool.threads().max(1)).max(1);
     if rows_per_chunk >= m || n == 0 {
         kernel(0, m, out);
         return;
     }
     let kernel = &kernel;
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         for (idx, chunk) in out.chunks_mut(rows_per_chunk * n).enumerate() {
             scope.spawn(move || {
                 let row0 = idx * rows_per_chunk;
@@ -100,5 +108,27 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn repeated_dispatch_reuses_the_pool() {
+        // The whole point of the runtime: a second dispatch must not
+        // re-spawn workers. Observable via the global pool counters —
+        // tasks accumulate, width stays fixed.
+        let before = mfdfp_rt::global_stats();
+        for round in 0..3 {
+            let (m, n) = (16, 8);
+            let mut out = vec![0u32; m * n];
+            for_each_row_chunk(&mut out, m, n, |row0, rows, chunk| {
+                for r in 0..rows {
+                    for c in 0..n {
+                        chunk[r * n + c] = (round + row0 + r) as u32;
+                    }
+                }
+            });
+        }
+        let after = mfdfp_rt::global_stats();
+        assert_eq!(after.threads, mfdfp_rt::global().threads());
+        assert!(after.tasks_run >= before.tasks_run);
     }
 }

@@ -16,14 +16,18 @@
 //!   ensembles, integer-only inference.
 //! * [`serve`] — dynamic-batching serving runtime: model registry, bounded
 //!   request queue with backpressure, micro-batcher worker pool, metrics.
+//! * [`rt`] — the persistent work-sharing thread-pool runtime the tensor
+//!   kernels and the serving dispatch share (lazy global pool, scoped
+//!   fork-join, pool stats).
 //!
-//! See `README.md` for the quickstart and `DESIGN.md` for the experiment
-//! index.
+//! See `README.md` for the quickstart, `ARCHITECTURE.md` for the crate
+//! map, and `PAPER_MAP.md` for the paper-section → code mapping.
 
 pub use mfdfp_accel as accel;
 pub use mfdfp_core as core;
 pub use mfdfp_data as data;
 pub use mfdfp_dfp as dfp;
 pub use mfdfp_nn as nn;
+pub use mfdfp_rt as rt;
 pub use mfdfp_serve as serve;
 pub use mfdfp_tensor as tensor;
