@@ -7,10 +7,20 @@
 //! * [`ShiftConv::run`] / [`ShiftLinear::run`] — the **deployed hot
 //!   path**: weights stay in their packed 4-bit nibble form
 //!   ([`PackedPow2Matrix`]) and flow through the shift-only
-//!   [`mfdfp_tensor::qgemm`] kernel (im2col for convolutions), whose inner
-//!   loop is pure shift/mask/add — no `Pow2Weight` decode, no branch, no
-//!   multiply. With the `parallel` cargo feature, large layers fan output
-//!   rows across OS threads.
+//!   [`mfdfp_tensor::qgemm_i8`] kernel (im2col for convolutions), whose
+//!   inner loop is pure shift/mask/add — no `Pow2Weight` decode, no
+//!   branch, no multiply. Activations stay 8-bit codes end to end: the
+//!   im2col gather copies `i8` bytes and the kernel widens in register,
+//!   so staging traffic is a quarter of the old `i32` layout and the
+//!   9-bit operand audit is structural. With the `parallel` cargo
+//!   feature, large layers fan output rows across OS threads.
+//!
+//!   The scratch-free entries [`ShiftConv::run_into`] /
+//!   [`ShiftLinear::run_into`] write into caller buffers and draw their
+//!   staging space from a [`Workspace`]; the allocating `run` wrappers
+//!   route through the calling thread's persistent workspace, so on a
+//!   long-lived thread even they stop allocating scratch after the first
+//!   call (only the returned `Vec` remains).
 //! * [`ShiftConv::run_reference`] / [`ShiftLinear::run_reference`] — the
 //!   **decode-based audit path**: every nibble is unpacked to a
 //!   [`Pow2Weight`], products go one [`Pow2Weight::mul_shift`] at a time
@@ -32,7 +42,7 @@
 //! `qgemm` module docs.)
 
 use mfdfp_dfp::{Accumulator, AdderTree, PackedPow2Matrix, Pow2Weight};
-use mfdfp_tensor::{qgemm, qgemm_into, ConvGeometry};
+use mfdfp_tensor::{qgemm_into_i8, with_thread_workspace, ConvGeometry, Workspace};
 
 use crate::error::{AccelError, Result};
 
@@ -60,34 +70,58 @@ pub struct ShiftConv {
 impl ShiftConv {
     /// Executes the layer on one image of activation codes (`C×H×W`,
     /// row-major), returning output codes (`OutC×OH×OW`) — the packed
-    /// shift-only path: integer im2col, then [`mfdfp_tensor::qgemm`]
+    /// shift-only path: `i8` im2col, then [`mfdfp_tensor::qgemm_i8`]
     /// straight over the nibble codes.
+    ///
+    /// Thin wrapper over [`ShiftConv::run_into`] drawing scratch from the
+    /// calling thread's persistent workspace; only the returned `Vec`
+    /// allocates once the thread is warm.
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::BadInput`] on a length mismatch and
     /// propagates the kernel's overflow audits as [`AccelError::Tensor`].
     pub fn run(&self, input: &[i8]) -> Result<Vec<i8>> {
+        let mut out = vec![0i8; self.out_len()];
+        with_thread_workspace(|ws| self.run_into(input, ws, &mut out))?;
+        Ok(out)
+    }
+
+    /// The allocation-free entry: executes the layer into `out`
+    /// (`OutC×OH×OW` codes), staging the `i8` im2col columns in `ws`.
+    /// With a warmed workspace this performs zero heap allocations —
+    /// activation codes stream byte-for-byte from `input` through the
+    /// gather into the in-register-widening kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] if `input` or `out` have the
+    /// wrong length and propagates the kernel's overflow audits as
+    /// [`AccelError::Tensor`].
+    pub fn run_into(&self, input: &[i8], ws: &mut Workspace, out: &mut [i8]) -> Result<()> {
         let g = &self.geom;
         self.validate(input.len())?;
-        let (oh, ow) = (g.out_h(), g.out_w());
-        let npix = oh * ow;
+        if out.len() != self.out_len() {
+            return Err(AccelError::BadInput { expected: self.out_len(), actual: out.len() });
+        }
+        let npix = g.out_h() * g.out_w();
         let syn = g.col_height();
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
         let group_out = g.out_c / g.groups;
-        let mut out = vec![0i8; g.out_c * npix];
-        // Integer im2col for one group (`syn × npix`): one synapse's
+        // `i8` im2col for one group (`syn × npix`): one synapse's
         // activations across all output pixels are contiguous, the layout
-        // the packed kernel streams.
-        let mut xt = vec![0i32; syn * npix];
+        // the packed kernel streams — still 8-bit codes, so the gather is
+        // a byte copy and the staging buffer is 4× leaner than the old
+        // `i32` layout.
+        let xt = ws.im2col_i8(syn * npix);
         for grp in 0..g.groups {
-            gather_group_columns(input, g, grp, &mut xt);
+            gather_group_columns(input, g, grp, xt);
             let row0 = grp * group_out;
-            qgemm_into(
+            qgemm_into_i8(
                 &self.weights,
                 row0,
                 group_out,
-                &xt,
+                xt,
                 npix,
                 &self.bias[row0..row0 + group_out],
                 acc_frac,
@@ -96,7 +130,18 @@ impl ShiftConv {
             )
             .map_err(AccelError::Tensor)?;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Output element count (`OutC×OH×OW`).
+    pub fn out_len(&self) -> usize {
+        self.geom.out_c * self.geom.out_h() * self.geom.out_w()
+    }
+
+    /// Peak im2col staging this layer needs (`col_height × OH·OW` `i8`
+    /// elements) — the workspace-planning input.
+    pub fn im2col_len(&self) -> usize {
+        self.geom.col_height() * self.geom.out_h() * self.geom.out_w()
     }
 
     /// Executes the layer through the decode-based Figure 2(a) datapath:
@@ -120,6 +165,7 @@ impl ShiftConv {
         let syn_count = g.col_height();
         let mut xs = vec![0i32; syn_count];
         let mut acc = Accumulator::new();
+        let mut products = Vec::new();
         let group_in = g.in_c / g.groups;
         let group_out = g.out_c / g.groups;
         for oc in 0..g.out_c {
@@ -156,6 +202,7 @@ impl ShiftConv {
                         self.out_frac as i32,
                         tree,
                         &mut acc,
+                        &mut products,
                     )?;
                     out[(oc * oh + oy) * ow + ox] = code;
                 }
@@ -187,10 +234,11 @@ impl ShiftConv {
 }
 
 /// Fills `xt` (a `col_height × OH·OW` row-major buffer) with group
-/// `grp`'s receptive fields, widened to `i32` and zero for padding — the
-/// standard im2col layout [`mfdfp_tensor::qgemm`] streams (one synapse's
-/// activations across all output pixels contiguous).
-fn gather_group_columns(input: &[i8], g: &ConvGeometry, grp: usize, xt: &mut [i32]) {
+/// `grp`'s receptive fields as raw `i8` codes, zero for padding — the
+/// standard im2col layout [`mfdfp_tensor::qgemm_i8`] streams (one
+/// synapse's activations across all output pixels contiguous). A plain
+/// byte copy: no widening anywhere in the gather.
+fn gather_group_columns(input: &[i8], g: &ConvGeometry, grp: usize, xt: &mut [i8]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     let npix = oh * ow;
     let k = g.kernel;
@@ -210,7 +258,7 @@ fn gather_group_columns(input: &[i8], g: &ConvGeometry, grp: usize, xt: &mut [i3
                             if iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize {
                                 0
                             } else {
-                                input[(c * g.in_h + iy as usize) * g.in_w + ix as usize] as i32
+                                input[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
                             };
                         pix += 1;
                     }
@@ -241,19 +289,48 @@ pub struct ShiftLinear {
 
 impl ShiftLinear {
     /// Executes the layer on one activation-code vector — the packed
-    /// shift-only path ([`mfdfp_tensor::qgemm`] with a single activation
-    /// column).
+    /// shift-only path ([`mfdfp_tensor::qgemm_i8`] with a single
+    /// activation column). Thin wrapper over [`ShiftLinear::run_into`];
+    /// only the returned `Vec` allocates.
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::BadInput`] on a length mismatch and
     /// propagates the kernel's overflow audits as [`AccelError::Tensor`].
     pub fn run(&self, input: &[i8]) -> Result<Vec<i8>> {
+        let mut out = vec![0i8; self.out_features];
+        self.run_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// The allocation-free entry: executes the layer into `out`
+    /// (`out_features` codes). The input vector **is** the `k × 1` im2col
+    /// matrix in the `i8` streaming layout, so this stages nothing at all
+    /// — no widening copy, no scratch, zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadInput`] if `input` or `out` have the
+    /// wrong length and propagates the kernel's overflow audits as
+    /// [`AccelError::Tensor`].
+    pub fn run_into(&self, input: &[i8], out: &mut [i8]) -> Result<()> {
         self.validate(input.len())?;
+        if out.len() != self.out_features {
+            return Err(AccelError::BadInput { expected: self.out_features, actual: out.len() });
+        }
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
-        let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();
-        qgemm(&self.weights, &xs, 1, &self.bias, acc_frac, self.out_frac as i32)
-            .map_err(AccelError::Tensor)
+        qgemm_into_i8(
+            &self.weights,
+            0,
+            self.out_features,
+            input,
+            1,
+            &self.bias,
+            acc_frac,
+            self.out_frac as i32,
+            out,
+        )
+        .map_err(AccelError::Tensor)
     }
 
     /// Executes the layer through the decode-based Figure 2(a) datapath
@@ -269,6 +346,7 @@ impl ShiftLinear {
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
         let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();
         let mut acc = Accumulator::new();
+        let mut products = Vec::new();
         let mut out = vec![0i8; self.out_features];
         for (o, out_code) in out.iter_mut().enumerate() {
             let wbase = o * self.in_features;
@@ -280,6 +358,7 @@ impl ShiftLinear {
                 self.out_frac as i32,
                 tree,
                 &mut acc,
+                &mut products,
             )?;
         }
         Ok(out)
@@ -311,6 +390,12 @@ impl ShiftLinear {
 /// One neuron's multi-cycle MAC reduction: shift-multiply chunks of
 /// `tree.fan_in()` synapses, sum each chunk through the widening tree,
 /// accumulate, add bias, and route to the 8-bit output format.
+///
+/// `products` is the caller's product-register buffer, resized (grow-only)
+/// to the tree's fan-in — hoisted out of this per-neuron routine so a
+/// whole reference-path layer reuses one buffer instead of allocating per
+/// output.
+#[allow(clippy::too_many_arguments)] // cycle-model internals: full datapath state
 fn mac_reduce(
     xs: &[i32],
     ws: &[Pow2Weight],
@@ -319,11 +404,12 @@ fn mac_reduce(
     out_frac: i32,
     tree: &AdderTree,
     acc: &mut Accumulator,
+    products: &mut Vec<i32>,
 ) -> Result<i8> {
     debug_assert_eq!(xs.len(), ws.len());
     let fan_in = tree.fan_in();
     acc.reset();
-    let mut products = vec![0i32; fan_in];
+    products.resize(fan_in, 0);
     for (xc, wc) in xs.chunks(fan_in).zip(ws.chunks(fan_in)) {
         for (p, (x, w)) in products.iter_mut().zip(xc.iter().zip(wc)) {
             *p = w.mul_shift(*x);
@@ -332,7 +418,7 @@ fn mac_reduce(
         for p in products.iter_mut().skip(xc.len()) {
             *p = 0;
         }
-        acc.add(tree.sum(&products)?)?;
+        acc.add(tree.sum(products)?)?;
     }
     acc.add(bias)?;
     Ok(acc.route(acc_frac, out_frac, 8) as i8)
@@ -345,6 +431,29 @@ pub fn relu_codes(codes: &mut [i8]) {
             *c = 0;
         }
     }
+}
+
+/// Ceil-mode output dimensions of a pooling window, matching the float
+/// framework (and the `oh`/`ow` the `*_pool_codes` routines produce).
+/// Workspace planning and the forward loops share this so buffer sizes
+/// and outputs can never disagree.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadConfig`] for a zero window or stride — the
+/// one configuration with no defined output size.
+pub fn pool_out_dims(
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+) -> Result<(usize, usize)> {
+    if window == 0 || stride == 0 {
+        return Err(AccelError::BadConfig("pool window/stride must be positive".into()));
+    }
+    let oh = (in_h - window.min(in_h)).div_ceil(stride) + 1;
+    let ow = (in_w - window.min(in_w)).div_ceil(stride) + 1;
+    Ok((oh, ow))
 }
 
 /// Max pooling on activation codes. Monotone, so pooling codes equals
@@ -361,7 +470,26 @@ pub fn max_pool_codes(
     window: usize,
     stride: usize,
 ) -> Result<Vec<i8>> {
-    pool_codes(input, channels, in_h, in_w, window, stride, true)
+    pool_codes_alloc(input, channels, in_h, in_w, window, stride, true)
+}
+
+/// [`max_pool_codes`] into a caller buffer (`channels × oh × ow`, see
+/// [`pool_out_dims`]): the allocation-free pooling entry.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadInput`] on an input or output length
+/// mismatch.
+pub fn max_pool_codes_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    out: &mut [i8],
+) -> Result<()> {
+    pool_codes_into(input, channels, in_h, in_w, window, stride, true, out)
 }
 
 /// Average pooling on activation codes with round-half-away integer
@@ -383,10 +511,30 @@ pub fn avg_pool_codes(
     window: usize,
     stride: usize,
 ) -> Result<Vec<i8>> {
-    pool_codes(input, channels, in_h, in_w, window, stride, false)
+    pool_codes_alloc(input, channels, in_h, in_w, window, stride, false)
 }
 
-fn pool_codes(
+/// [`avg_pool_codes`] into a caller buffer (`channels × oh × ow`, see
+/// [`pool_out_dims`]): the allocation-free pooling entry.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadInput`] on an input or output length
+/// mismatch.
+pub fn avg_pool_codes_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    out: &mut [i8],
+) -> Result<()> {
+    pool_codes_into(input, channels, in_h, in_w, window, stride, false, out)
+}
+
+#[allow(clippy::too_many_arguments)] // private pooling frame + mode flag
+fn pool_codes_alloc(
     input: &[i8],
     channels: usize,
     in_h: usize,
@@ -395,17 +543,32 @@ fn pool_codes(
     stride: usize,
     is_max: bool,
 ) -> Result<Vec<i8>> {
+    let (oh, ow) = pool_out_dims(in_h, in_w, window, stride)?;
+    let mut out = vec![0i8; channels * oh * ow];
+    pool_codes_into(input, channels, in_h, in_w, window, stride, is_max, &mut out)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)] // private pooling frame + mode flag
+fn pool_codes_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    is_max: bool,
+    out: &mut [i8],
+) -> Result<()> {
     let expect = channels * in_h * in_w;
     if input.len() != expect {
         return Err(AccelError::BadInput { expected: expect, actual: input.len() });
     }
-    if window == 0 || stride == 0 {
-        return Err(AccelError::BadConfig("pool window/stride must be positive".into()));
-    }
     // Ceil-mode output size, matching the float framework.
-    let oh = (in_h - window.min(in_h)).div_ceil(stride) + 1;
-    let ow = (in_w - window.min(in_w)).div_ceil(stride) + 1;
-    let mut out = vec![0i8; channels * oh * ow];
+    let (oh, ow) = pool_out_dims(in_h, in_w, window, stride)?;
+    if out.len() != channels * oh * ow {
+        return Err(AccelError::BadInput { expected: channels * oh * ow, actual: out.len() });
+    }
     for c in 0..channels {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -438,7 +601,7 @@ fn pool_codes(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -585,6 +748,53 @@ mod tests {
     }
 
     #[test]
+    fn run_into_matches_run_and_validates_out_len() {
+        let geom = ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: pack(3, 18, &[0.5; 54]),
+            bias: vec![0; 3],
+            in_frac: 6,
+            out_frac: 4,
+        };
+        let input: Vec<i8> = (0..50).map(|i| (i * 5 % 127) as i8 - 40).collect();
+        let expect = layer.run(&input).unwrap();
+        let mut ws = Workspace::new();
+        let mut out = vec![0i8; layer.out_len()];
+        layer.run_into(&input, &mut ws, &mut out).unwrap();
+        assert_eq!(out, expect);
+        // Reusing the warmed workspace must give the same answer.
+        let mut again = vec![0i8; layer.out_len()];
+        layer.run_into(&input, &mut ws, &mut again).unwrap();
+        assert_eq!(again, expect);
+        let mut short = vec![0i8; layer.out_len() - 1];
+        assert!(layer.run_into(&input, &mut ws, &mut short).is_err());
+
+        let lin = dummy_linear(4, 2);
+        let lexpect = lin.run(&[1, 2, 3, 4]).unwrap();
+        let mut lout = vec![0i8; 2];
+        lin.run_into(&[1, 2, 3, 4], &mut lout).unwrap();
+        assert_eq!(lout, lexpect);
+        assert!(lin.run_into(&[1, 2, 3, 4], &mut lout[..1]).is_err());
+    }
+
+    #[test]
+    fn pool_into_matches_allocating_pools() {
+        let input: Vec<i8> = (0..2 * 5 * 5).map(|i| (i * 7 % 120) as i8 - 60).collect();
+        for (window, stride) in [(2usize, 2usize), (3, 2), (3, 3)] {
+            let (oh, ow) = pool_out_dims(5, 5, window, stride).unwrap();
+            let mut out = vec![0i8; 2 * oh * ow];
+            max_pool_codes_into(&input, 2, 5, 5, window, stride, &mut out).unwrap();
+            assert_eq!(out, max_pool_codes(&input, 2, 5, 5, window, stride).unwrap());
+            avg_pool_codes_into(&input, 2, 5, 5, window, stride, &mut out).unwrap();
+            assert_eq!(out, avg_pool_codes(&input, 2, 5, 5, window, stride).unwrap());
+            // Wrong output size is rejected, not silently truncated.
+            let mut bad = vec![0i8; 2 * oh * ow + 1];
+            assert!(max_pool_codes_into(&input, 2, 5, 5, window, stride, &mut bad).is_err());
+        }
+    }
+
+    #[test]
     fn relu_codes_clamps() {
         let mut codes = [-5i8, 0, 7, -128, 127];
         relu_codes(&mut codes);
@@ -611,5 +821,13 @@ mod tests {
     #[test]
     fn pool_validates_input_length() {
         assert!(max_pool_codes(&[0; 5], 1, 3, 3, 2, 2).is_err());
+    }
+
+    #[test]
+    fn pool_out_dims_rejects_zero_window_or_stride() {
+        assert!(pool_out_dims(3, 3, 0, 1).is_err());
+        assert!(pool_out_dims(3, 3, 2, 0).is_err());
+        assert!(max_pool_codes(&[0; 9], 1, 3, 3, 2, 0).is_err());
+        assert_eq!(pool_out_dims(3, 3, 2, 2).unwrap(), (2, 2));
     }
 }

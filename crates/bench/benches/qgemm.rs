@@ -13,7 +13,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use mfdfp_core::{calibrate, QuantizedNet};
 use mfdfp_dfp::{realign, saturate, PackedPow2Matrix, Pow2Weight};
 use mfdfp_nn::zoo;
-use mfdfp_tensor::{qgemm, TensorRng};
+use mfdfp_tensor::{qgemm, qgemm_into_i8, TensorRng};
 
 fn xorshift(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -78,10 +78,35 @@ fn bench_qgemm_256(c: &mut Criterion) {
     let mut group = c.benchmark_group("qgemm_256");
     group.throughput(Throughput::Elements((n * n * n) as u64));
 
-    // The PR-3 hot path: nibbles in, codes out, no decode anywhere.
+    // The PR-3 hot path: nibbles in, codes out, no decode anywhere
+    // (i32-staged activations, per-call 9-bit operand audit).
     group.bench_function("packed_shift_only", |b| {
         b.iter(|| {
             black_box(qgemm(black_box(&w), &xt, n, &bias, acc_frac, out_frac).expect("qgemm"))
+        })
+    });
+
+    // The PR-5 hot path: the same product streamed from `i8` activation
+    // codes — a quarter of the im2col traffic, no audit scan (structural
+    // 9-bit bound), output into a warm caller buffer, accumulator lanes
+    // in thread scratch. Zero allocations inside the timed body.
+    let xt8: Vec<i8> = xt.iter().map(|&x| x as i8).collect();
+    let mut out8 = vec![0i8; n * n];
+    group.bench_function("packed_shift_only_i8_warm", |b| {
+        b.iter(|| {
+            qgemm_into_i8(
+                black_box(&w),
+                0,
+                n,
+                black_box(&xt8),
+                n,
+                &bias,
+                acc_frac,
+                out_frac,
+                &mut out8,
+            )
+            .expect("qgemm_i8");
+            black_box(&mut out8);
         })
     });
 
@@ -121,6 +146,16 @@ fn bench_qnet_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("qnet_forward");
     group.bench_function("packed_shift_only", |b| {
         b.iter(|| black_box(qnet.forward_codes(black_box(&img)).expect("forward")))
+    });
+    // The PR-5 steady-state serving path: a planned workspace reused
+    // across calls — zero heap allocations per forward once warm.
+    let mut ws = qnet.plan().workspace();
+    qnet.forward_codes_with(&img, &mut ws).expect("warm-up");
+    group.bench_function("packed_warm_workspace", |b| {
+        b.iter(|| {
+            let codes = qnet.forward_codes_with(black_box(&img), &mut ws).expect("forward");
+            black_box(codes.len())
+        })
     });
     group.bench_function("decode_adder_tree_reference", |b| {
         b.iter(|| black_box(qnet.forward_codes_reference(black_box(&img)).expect("forward")))

@@ -1,0 +1,205 @@
+//! Allocation-regression tests for the zero-allocation inference
+//! contract: a **warmed** workspace pass over the packed quantized
+//! datapath must perform *zero* heap allocations — the software
+//! equivalent of the paper's fixed-buffer Figure 2(a) pipeline, and the
+//! property that keeps steady-state serving traffic off the allocator.
+//!
+//! Mechanism: this test binary installs a counting [`GlobalAlloc`] that
+//! increments a **per-thread** counter on every `alloc`/`realloc`/
+//! `alloc_zeroed`. Per-thread counting makes the assertions immune to
+//! libtest harness threads allocating concurrently; it also measures
+//! exactly the right thing, because the zero-allocation contract is a
+//! per-thread property (each worker owns its workspace).
+//!
+//! Scope of the contract, as documented in ARCHITECTURE.md:
+//!
+//! * the single-image forward (`forward_codes_with`) and the serial
+//!   batched-logits entry (`logits_batch_into`) are strictly
+//!   allocation-free once warm — asserted here at zero;
+//! * the serving dispatch *compute* (batch staging + inference, what
+//!   `dispatch_group` runs between popping a batch and materialising
+//!   responses) is allocation-free once warm — asserted here at zero;
+//! * response materialisation (the per-ticket logits `Tensor`, channel
+//!   send) and engaging the thread pool (O(threads) task boxes per
+//!   dispatch) allocate by design: those buffers leave the worker or
+//!   coordinate other threads. They are excluded by construction below
+//!   (single-image batches never engage the pool, and the models sit
+//!   under the parallel kernel's work threshold), so the assertions hold
+//!   under both feature sets — CI runs this file with and without
+//!   `--features parallel`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+use mfdfp_core::{calibrate, QuantizedNet};
+use mfdfp_nn::zoo;
+use mfdfp_serve::ServedModel;
+use mfdfp_tensor::{qgemm_into_i8, Tensor, TensorRng};
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts this thread's allocator hits, then delegates to [`System`].
+/// `try_with` keeps the allocator safe during TLS teardown.
+struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the TLS bump performs no
+// allocation itself (`Cell<u64>` is const-initialised, no destructor).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Allocator hits on the *current thread* while `f` runs.
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = THREAD_ALLOCS.with(Cell::get);
+    let result = f();
+    let after = THREAD_ALLOCS.with(Cell::get);
+    (after - before, result)
+}
+
+/// A small calibrated conv net (3×16×16 → 10 classes). Every layer sits
+/// below the parallel kernel's MIN_MACS threshold, so the forward stays
+/// on the calling thread under both feature sets — which is exactly the
+/// regime the strict zero-allocation contract covers.
+fn quantized_net(seed: u64) -> (QuantizedNet, Tensor) {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+    let batch = rng.gaussian([2, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(batch.clone(), vec![0, 1])], 8).unwrap();
+    (QuantizedNet::from_network(&net, &plan).unwrap(), batch)
+}
+
+#[test]
+fn warm_qgemm_i8_kernel_is_allocation_free() {
+    let mut rng = TensorRng::seed_from(7);
+    let raw = rng.gaussian([32 * 32], 0.0, 0.3);
+    let w = mfdfp_dfp::PackedPow2Matrix::from_f32(32, 32, raw.as_slice()).unwrap();
+    let xt: Vec<i8> = (0..32 * 32).map(|i| (i % 251) as i8).collect();
+    let bias = vec![0i64; 32];
+    let mut out = vec![0i8; 32 * 32];
+    // Warm-up: grows the thread's accumulator-lane scratch.
+    qgemm_into_i8(&w, 0, 32, &xt, 32, &bias, 13, 4, &mut out).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            qgemm_into_i8(
+                black_box(&w),
+                0,
+                32,
+                black_box(&xt),
+                32,
+                &bias,
+                13,
+                4,
+                black_box(&mut out),
+            )
+            .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warmed qgemm_into_i8 must not touch the heap");
+}
+
+#[test]
+fn warm_forward_codes_with_is_allocation_free() {
+    let (qnet, batch) = quantized_net(21);
+    let img = batch.index_axis0(0);
+    let mut ws = qnet.plan().workspace();
+    // One warm-up pass grows the per-thread accumulator lanes (the one
+    // buffer a per-model plan cannot pre-size: it belongs to the thread,
+    // not the model).
+    qnet.forward_codes_with(&img, &mut ws).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            let codes = qnet.forward_codes_with(black_box(&img), &mut ws).unwrap();
+            black_box(codes);
+        }
+    });
+    assert_eq!(allocs, 0, "warmed forward_codes_with must not touch the heap");
+}
+
+#[test]
+fn warm_logits_batch_into_is_allocation_free() {
+    let (qnet, batch) = quantized_net(22);
+    let img = batch.index_axis0(0);
+    let mut ws = qnet.plan().workspace();
+    let mut out = vec![0.0f32; qnet.classes()];
+    qnet.logits_batch_into(img.as_slice(), 1, &mut ws, &mut out).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            qnet.logits_batch_into(black_box(img.as_slice()), 1, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warmed logits_batch_into must not touch the heap");
+    black_box(&out);
+}
+
+#[test]
+fn warm_serve_dispatch_compute_is_allocation_free() {
+    // The steady-state work a serving worker performs per request, with
+    // response materialisation excluded: stage the admitted image into
+    // the batch buffer, run the batched inference through the model the
+    // worker resolved at admission, read the logits row. This mirrors
+    // `dispatch_group`'s compute (same entry point, same buffers) on a
+    // warmed worker.
+    let (qnet, batch) = quantized_net(23);
+    let model: ServedModel = qnet.into();
+    let img = batch.index_axis0(1);
+    let classes = model.classes();
+    // The worker's persistent scratch, as in serve's `WorkerScratch`:
+    // batch staging + logits block + an owned inference workspace.
+    let mut ws = model.plan().workspace();
+    let mut data: Vec<f32> = Vec::with_capacity(img.len());
+    let mut logits = vec![0.0f32; classes];
+    // Warm-up request.
+    data.extend_from_slice(img.as_slice());
+    model.logits_batch_into(&data, 1, &mut ws, &mut logits).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            data.clear();
+            data.extend_from_slice(black_box(img.as_slice()));
+            model.logits_batch_into(&data, 1, &mut ws, &mut logits).unwrap();
+            black_box(&logits);
+        }
+    });
+    assert_eq!(allocs, 0, "a warmed serve request's compute must not touch the heap");
+}
+
+#[test]
+fn planned_workspace_first_pass_allocates_only_thread_lanes() {
+    // The plan() claim: with a pre-sized workspace, the only first-pass
+    // allocations left are the thread-resident accumulator lanes (and
+    // they are not per-model state). A generous bound keeps this robust
+    // while still catching any per-layer allocation creeping back in:
+    // the seed net runs 3 convs + 2 linears + pools, so a regression to
+    // per-call buffers would cost dozens of allocations.
+    let (qnet, batch) = quantized_net(24);
+    let img = batch.index_axis0(0);
+    let mut ws = qnet.plan().workspace();
+    let (allocs, _) =
+        allocations(|| qnet.forward_codes_with(&img, &mut ws).map(<[i8]>::to_vec).unwrap());
+    assert!(
+        allocs <= 6,
+        "planned first pass should allocate at most the thread lanes + result vec, saw {allocs}"
+    );
+}

@@ -8,7 +8,7 @@
 //! quantify.
 
 use mfdfp_nn::Accuracy;
-use mfdfp_tensor::{Shape, Tensor};
+use mfdfp_tensor::{with_thread_workspace, Shape, Tensor, Workspace, WorkspacePlan};
 
 use crate::error::{CoreError, Result};
 use crate::qnet::QuantizedNet;
@@ -57,6 +57,19 @@ impl Ensemble {
         self.members[0].classes()
     }
 
+    /// Peak workspace sizes across every member (element-wise max), plus
+    /// an `f32` lane for single-image member-logit staging — grow-only
+    /// buffers absorb larger batches on first use. One workspace sized
+    /// from this plan serves any member and the averaging loop.
+    pub fn plan(&self) -> WorkspacePlan {
+        let merged = self
+            .members
+            .iter()
+            .map(QuantizedNet::plan)
+            .fold(WorkspacePlan::default(), |a, b| a.merge(b));
+        merged.merge(WorkspacePlan { f32_len: self.classes(), ..Default::default() })
+    }
+
     /// Averaged dequantized logits for a `N×C×H×W` batch.
     ///
     /// # Errors
@@ -64,13 +77,50 @@ impl Ensemble {
     /// Propagates member inference errors.
     pub fn logits_batch(&self, batch: &Tensor) -> Result<Tensor> {
         let n = batch.shape().dim(0);
-        let mut sum = Tensor::zeros(Shape::d2(n, self.classes()));
-        for member in &self.members {
-            let logits = member.logits_batch(batch)?;
-            sum.axpy(1.0, &logits)?;
-        }
-        sum.scale(1.0 / self.members.len() as f32);
-        Ok(sum)
+        let mut out = Tensor::zeros(Shape::d2(n, self.classes()));
+        with_thread_workspace(|ws| {
+            self.logits_batch_into(batch.as_slice(), n, ws, out.as_mut_slice())
+        })?;
+        Ok(out)
+    }
+
+    /// The allocation-free averaged-logits entry (the ensemble
+    /// counterpart of [`QuantizedNet::logits_batch_into`]): `data` is `n`
+    /// images flat, `out` receives the `n × classes` averaged logits.
+    /// Member logits stage in the workspace's `f32` lane; the averaging
+    /// accumulates member-by-member in the same order as
+    /// [`Ensemble::logits_batch`] — which is implemented on top of this —
+    /// so the two agree bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates member inference errors and the shape checks of
+    /// [`QuantizedNet::logits_batch_into`].
+    pub fn logits_batch_into(
+        &self,
+        data: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let mut tmp = ws.take_f32();
+        let result = (|| {
+            tmp.resize(out.len(), 0.0);
+            out.fill(0.0);
+            for member in &self.members {
+                member.logits_batch_into(data, n, ws, &mut tmp)?;
+                for (o, &t) in out.iter_mut().zip(tmp.iter()) {
+                    *o += t;
+                }
+            }
+            let inv = 1.0 / self.members.len() as f32;
+            for o in out.iter_mut() {
+                *o *= inv;
+            }
+            Ok(())
+        })();
+        ws.restore_f32(tmp);
+        result
     }
 
     /// Evaluates the ensemble over batches, tracking top-1/top-`k`.
@@ -136,6 +186,20 @@ mod tests {
             let expect = (l1.as_slice()[i] + l2.as_slice()[i]) / 2.0;
             assert!((avg.as_slice()[i] - expect).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn logits_batch_into_matches_logits_batch() {
+        let e = Ensemble::new(vec![member(1), member(2)]).unwrap();
+        let mut rng = TensorRng::seed_from(11);
+        let x = rng.gaussian([3, 2, 16, 16], 0.0, 0.7);
+        let expect = e.logits_batch(&x).unwrap();
+        let plan = e.plan();
+        assert!(plan.f32_len >= e.classes());
+        let mut ws = plan.workspace();
+        let mut out = vec![0.0f32; 3 * e.classes()];
+        e.logits_batch_into(x.as_slice(), 3, &mut ws, &mut out).unwrap();
+        assert_eq!(out, expect.as_slice());
     }
 
     #[test]

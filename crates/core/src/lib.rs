@@ -55,6 +55,7 @@ pub use deploy::{from_bytes, to_bytes, MAGIC, VERSION};
 pub use ensemble::Ensemble;
 pub use error::{CoreError, Result};
 pub use memory::{memory_report, MemoryReport, MIB};
+pub use mfdfp_tensor::{Workspace, WorkspacePlan};
 pub use pipeline::{run_pipeline, EpochPoint, PhaseTag, PipelineConfig, PipelineOutcome};
 pub use qnet::{QLayer, QuantizedNet};
 pub use quantize::{build_working_net, calibrate, sync_quantized_params, QuantizationPlan};

@@ -13,13 +13,23 @@
 //! packed `qgemm` kernel, while [`QuantizedNet::forward_codes_reference`]
 //! keeps the original decode-based adder-tree datapath as the
 //! bit-exactness oracle (the two are property-tested identical).
+//!
+//! Like the hardware it models, the packed forward path has **no dynamic
+//! memory**: activations ping-pong between two pre-sized buffers of a
+//! [`Workspace`] and the im2col staging is drawn from the same arena.
+//! [`QuantizedNet::plan`] derives every peak buffer size from the layer
+//! geometry, so a workspace is sized once per model and
+//! [`QuantizedNet::forward_codes_with`] then runs arbitrarily many
+//! inferences with zero heap allocations. The allocating entries remain
+//! as thin wrappers over the calling thread's persistent workspace.
 
 use mfdfp_accel::qlayers::{
-    avg_pool_codes, max_pool_codes, relu_codes, ShiftConv, ShiftLinear, PRODUCT_FRAC_SHIFT,
+    avg_pool_codes, avg_pool_codes_into, max_pool_codes, max_pool_codes_into, pool_out_dims,
+    relu_codes, ShiftConv, ShiftLinear, PRODUCT_FRAC_SHIFT,
 };
 use mfdfp_dfp::{realign, AdderTree, DfpFormat, PackedPow2Matrix};
 use mfdfp_nn::{Layer, Network};
-use mfdfp_tensor::{PoolKind, Shape, Tensor};
+use mfdfp_tensor::{with_thread_workspace, PoolKind, Shape, Tensor, Workspace, WorkspacePlan};
 
 use crate::error::{CoreError, Result};
 use crate::quantize::QuantizationPlan;
@@ -236,14 +246,58 @@ impl QuantizedNet {
         })
     }
 
+    /// Peak scratch sizes of the packed forward path, derived from the
+    /// layer geometry — the software analogue of sizing the hardware's
+    /// activation buffers at synthesis time. Feed the plan to
+    /// [`Workspace::with_plan`] (or call
+    /// [`WorkspacePlan::workspace`]) and even the *first*
+    /// [`QuantizedNet::forward_codes_with`] pass allocates nothing.
+    pub fn plan(&self) -> WorkspacePlan {
+        let mut cur = self.input_len().unwrap_or(0);
+        let mut act_len = cur;
+        let mut im2col_len = 0usize;
+        for layer in &self.layers {
+            if let QLayer::Conv(c) = layer {
+                im2col_len = im2col_len.max(c.im2col_len());
+            }
+            cur = layer_out_len(layer, cur);
+            act_len = act_len.max(cur);
+        }
+        WorkspacePlan { act_len, im2col_len, f32_len: 0 }
+    }
+
     /// Runs integer-only inference on one `C×H×W` float image: quantizes
     /// the input to codes, then shifts/adds all the way to logit codes.
+    ///
+    /// Thin wrapper over [`QuantizedNet::forward_codes_with`] drawing
+    /// scratch from the calling thread's persistent workspace: on a
+    /// long-lived thread, only the returned `Vec` allocates once the
+    /// thread is warm.
     ///
     /// # Errors
     ///
     /// Propagates datapath faults (overflow audits, geometry mismatches).
     pub fn forward_codes(&self, image: &Tensor) -> Result<Vec<i8>> {
         self.forward_codes_from(image.as_slice())
+    }
+
+    /// The allocation-free forward: runs the packed shift-only datapath
+    /// entirely inside `ws`, returning a view of the logit codes (valid
+    /// until the workspace's next use). With a workspace warmed for this
+    /// network — one prior call, or [`QuantizedNet::plan`] up front —
+    /// this performs **zero heap allocations**, matching the fixed-buffer
+    /// Figure 2(a) datapath buffer-for-buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults (overflow audits, geometry mismatches).
+    pub fn forward_codes_with<'w>(
+        &self,
+        image: &Tensor,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w [i8]> {
+        let len = self.forward_packed(image.as_slice(), ws)?;
+        Ok(ws.codes(len))
     }
 
     /// Runs the same inference through the **decode-based** Figure 2(a)
@@ -261,28 +315,13 @@ impl QuantizedNet {
     ///
     /// Propagates datapath faults (overflow audits, geometry mismatches).
     pub fn forward_codes_reference(&self, image: &Tensor) -> Result<Vec<i8>> {
-        self.forward_layers(image.as_slice(), true)
-    }
-
-    fn forward_codes_from(&self, image: &[f32]) -> Result<Vec<i8>> {
-        self.forward_layers(image, false)
-    }
-
-    /// The shared layer-dispatch loop: `reference` selects the decode-based
-    /// adder-tree path for the weighted layers; pooling and ReLU are
-    /// identical on both paths.
-    fn forward_layers(&self, image: &[f32], reference: bool) -> Result<Vec<i8>> {
         let mut codes: Vec<i8> =
-            image.iter().map(|&x| self.input_format.quantize(x) as i8).collect();
+            image.as_slice().iter().map(|&x| self.input_format.quantize(x) as i8).collect();
         for layer in &self.layers {
             codes = match layer {
-                QLayer::Conv(c) => {
-                    if reference { c.run_reference(&codes, &self.tree) } else { c.run(&codes) }
-                        .map_err(CoreError::Accel)?
-                }
+                QLayer::Conv(c) => c.run_reference(&codes, &self.tree).map_err(CoreError::Accel)?,
                 QLayer::Linear(l) => {
-                    if reference { l.run_reference(&codes, &self.tree) } else { l.run(&codes) }
-                        .map_err(CoreError::Accel)?
+                    l.run_reference(&codes, &self.tree).map_err(CoreError::Accel)?
                 }
                 QLayer::Pool { kind, channels, in_h, in_w, window, stride } => match kind {
                     PoolKind::Max => {
@@ -302,6 +341,70 @@ impl QuantizedNet {
             };
         }
         Ok(codes)
+    }
+
+    fn forward_codes_from(&self, image: &[f32]) -> Result<Vec<i8>> {
+        with_thread_workspace(|ws| {
+            let len = self.forward_packed(image, ws)?;
+            Ok(ws.codes(len).to_vec())
+        })
+    }
+
+    /// The packed-path layer loop: activations ping-pong between the
+    /// workspace's two pre-sized buffers, convolutions stage their `i8`
+    /// im2col columns in the same arena, and every layer writes through
+    /// its `*_into` entry — no allocation anywhere once the workspace is
+    /// warm. Returns the final code count; the codes sit in the
+    /// workspace's front activation buffer ([`Workspace::codes`]).
+    fn forward_packed(&self, image: &[f32], ws: &mut Workspace) -> Result<usize> {
+        let (mut cur, mut nxt) = ws.take_act();
+        let result = self.forward_packed_layers(image, ws, &mut cur, &mut nxt);
+        ws.restore_act(cur, nxt);
+        result
+    }
+
+    fn forward_packed_layers(
+        &self,
+        image: &[f32],
+        ws: &mut Workspace,
+        cur: &mut Vec<i8>,
+        nxt: &mut Vec<i8>,
+    ) -> Result<usize> {
+        cur.resize(image.len(), 0);
+        for (c, &x) in cur.iter_mut().zip(image) {
+            *c = self.input_format.quantize(x) as i8;
+        }
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv(c) => {
+                    nxt.resize(c.out_len(), 0);
+                    c.run_into(cur, ws, nxt).map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Linear(l) => {
+                    nxt.resize(l.out_features, 0);
+                    l.run_into(cur, nxt).map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Pool { kind, channels, in_h, in_w, window, stride } => {
+                    let (oh, ow) =
+                        pool_out_dims(*in_h, *in_w, *window, *stride).map_err(CoreError::Accel)?;
+                    nxt.resize(channels * oh * ow, 0);
+                    match kind {
+                        PoolKind::Max => {
+                            max_pool_codes_into(cur, *channels, *in_h, *in_w, *window, *stride, nxt)
+                        }
+                        PoolKind::Avg => {
+                            avg_pool_codes_into(cur, *channels, *in_h, *in_w, *window, *stride, nxt)
+                        }
+                    }
+                    .map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Relu => relu_codes(cur),
+            }
+        }
+        Ok(cur.len())
     }
 
     /// Integer-only inference over an `N×C×H×W` batch: one `Vec` of logit
@@ -387,16 +490,122 @@ impl QuantizedNet {
     /// Propagates datapath faults.
     pub fn logits_batch(&self, batch: &Tensor) -> Result<Tensor> {
         let n = batch.shape().dim(0);
-        let all_codes = self.forward_codes_batch(batch)?;
         let mut out = Tensor::zeros(Shape::d2(n, self.classes));
-        let buf = out.as_mut_slice();
-        for (s, codes) in all_codes.iter().enumerate() {
-            assert_eq!(codes.len(), self.classes, "logit count mismatch");
-            for (j, &c) in codes.iter().enumerate() {
-                buf[s * self.classes + j] = self.output_format.dequantize(c as i32);
+        with_thread_workspace(|ws| {
+            self.logits_batch_into(batch.as_slice(), n, ws, out.as_mut_slice())
+        })?;
+        Ok(out)
+    }
+
+    /// The allocation-free batched-logits entry the serving runtime
+    /// dispatches: `data` is `n` images flat (`n × per_image` elements),
+    /// `out` receives the `n × classes` dequantized logits row-major.
+    /// Identical values to [`QuantizedNet::logits_batch`] — this *is* its
+    /// implementation — but every scratch byte comes from a workspace, so
+    /// a warmed serial call performs zero heap allocations.
+    ///
+    /// With the `parallel` feature and `n ≥ 2`, image chunks fan out
+    /// across the persistent pool: the first chunk runs inline on the
+    /// caller with the passed (warmed) `ws`, the rest on pool workers in
+    /// their own thread-resident workspaces (bit-identical: chunk
+    /// boundaries depend only on the pool width, each image's datapath is
+    /// untouched). The pool dispatch itself costs O(threads) small
+    /// allocations — the documented exception to the zero-allocation
+    /// steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if `data` does not split into `n`
+    /// equal images or `out` is not `n × classes`; propagates datapath
+    /// faults from any image (first in chunk-claim order wins).
+    pub fn logits_batch_into(
+        &self,
+        data: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if n == 0 {
+            if data.is_empty() && out.is_empty() {
+                return Ok(());
+            }
+            return Err(CoreError::BadConfig("empty batch with non-empty buffers".into()));
+        }
+        if !data.len().is_multiple_of(n) {
+            return Err(CoreError::BadConfig(format!(
+                "batch of {} elements does not split into {n} images",
+                data.len()
+            )));
+        }
+        if out.len() != n * self.classes {
+            return Err(CoreError::BadConfig(format!(
+                "logit buffer holds {} values, batch needs {}",
+                out.len(),
+                n * self.classes
+            )));
+        }
+        let per_image = data.len() / n;
+        #[cfg(feature = "parallel")]
+        {
+            let pool = mfdfp_rt::global();
+            let workers = pool.threads().min(n);
+            if n >= 2 && workers >= 2 {
+                // Chunk boundaries are a pure function of the pool width,
+                // exactly as in the all-spawned schedule — only *where*
+                // each chunk runs changes, never what it computes.
+                let chunk = n.div_ceil(workers);
+                let error = std::sync::OnceLock::new();
+                let (first, rest) = out.split_at_mut(chunk * self.classes);
+                pool.scope(|scope| {
+                    for (ci, out_chunk) in rest.chunks_mut(chunk * self.classes).enumerate() {
+                        let error = &error;
+                        scope.spawn(move || {
+                            let i0 = (ci + 1) * chunk;
+                            let result = with_thread_workspace(|tws| {
+                                self.logits_rows_into(data, i0, per_image, tws, out_chunk)
+                            });
+                            if let Err(e) = result {
+                                let _ = error.set(e);
+                            }
+                        });
+                    }
+                    // The caller's chunk runs inline on the caller's
+                    // (already warmed) workspace while the pool works the
+                    // rest; spawned chunks use their worker's persistent
+                    // thread workspace.
+                    if let Err(e) = self.logits_rows_into(data, 0, per_image, ws, first) {
+                        let _ = error.set(e);
+                    }
+                });
+                return match error.into_inner() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
             }
         }
-        Ok(out)
+        self.logits_rows_into(data, 0, per_image, ws, out)
+    }
+
+    /// Serial inner loop shared by the serial path and each parallel
+    /// chunk: forwards images `i0..` into consecutive `classes`-wide rows
+    /// of `out` (whose length fixes how many images the chunk covers).
+    fn logits_rows_into(
+        &self,
+        data: &[f32],
+        i0: usize,
+        per_image: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<()> {
+        for (j, row) in out.chunks_mut(self.classes).enumerate() {
+            let img = &data[(i0 + j) * per_image..(i0 + j + 1) * per_image];
+            let len = self.forward_packed(img, ws)?;
+            assert_eq!(len, self.classes, "logit count mismatch");
+            for (o, &c) in row.iter_mut().zip(ws.codes(len)) {
+                *o = self.output_format.dequantize(c as i32);
+            }
+        }
+        Ok(())
     }
 
     /// Parameter memory of the deployed network in bytes: 4-bit packed
@@ -418,6 +627,25 @@ impl QuantizedNet {
             }
         }
         weights.div_ceil(2) + biases
+    }
+}
+
+/// Output element count of one layer given its input length — the
+/// workspace-planning walk ([`QuantizedNet::plan`]) and the forward loop
+/// agree on these sizes by construction. A degenerate pool (zero
+/// window/stride, rejected at run time) passes its input through so
+/// planning never fails.
+fn layer_out_len(layer: &QLayer, input_len: usize) -> usize {
+    match layer {
+        QLayer::Conv(c) => c.out_len(),
+        QLayer::Linear(l) => l.out_features,
+        QLayer::Pool { channels, in_h, in_w, window, stride, .. } => {
+            match pool_out_dims(*in_h, *in_w, *window, *stride) {
+                Ok((oh, ow)) => channels * oh * ow,
+                Err(_) => input_len,
+            }
+        }
+        QLayer::Relu => input_len,
     }
 }
 
@@ -499,6 +727,42 @@ mod tests {
                 "sample {s} diverged between packed and decode paths"
             );
         }
+    }
+
+    #[test]
+    fn planned_workspace_forward_matches_allocating_forward() {
+        let (net, plan, calib) = setup();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let wplan = q.plan();
+        assert_eq!(wplan.act_len, q.input_len().unwrap().max(wplan.act_len));
+        assert!(wplan.im2col_len > 0, "conv layers must demand im2col staging");
+        let mut ws = wplan.workspace();
+        for s in 0..calib[0].0.shape().dim(0) {
+            let img = calib[0].0.index_axis0(s);
+            let direct = q.forward_codes(&img).unwrap();
+            let via_ws = q.forward_codes_with(&img, &mut ws).unwrap();
+            assert_eq!(via_ws, &direct[..], "sample {s}");
+        }
+        // A planned workspace is warm before the first pass.
+        assert!(ws.is_warm_for(&wplan));
+    }
+
+    #[test]
+    fn logits_batch_into_matches_logits_batch() {
+        let (net, plan, calib) = setup();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let batch = &calib[0].0;
+        let n = batch.shape().dim(0);
+        let expect = q.logits_batch(batch).unwrap();
+        let mut ws = q.plan().workspace();
+        let mut out = vec![0.0f32; n * q.classes()];
+        q.logits_batch_into(batch.as_slice(), n, &mut ws, &mut out).unwrap();
+        assert_eq!(out, expect.as_slice());
+        // Shape checks.
+        assert!(q.logits_batch_into(batch.as_slice(), 3, &mut ws, &mut out).is_err());
+        assert!(q.logits_batch_into(batch.as_slice(), n, &mut ws, &mut out[..1]).is_err());
+        assert!(q.logits_batch_into(&[], 0, &mut ws, &mut []).is_ok());
+        assert!(q.logits_batch_into(batch.as_slice(), 0, &mut ws, &mut out).is_err());
     }
 
     #[test]

@@ -151,6 +151,32 @@ proptest! {
         }
     }
 
+    /// A single workspace reused across arbitrary images gives exactly
+    /// the per-call-allocation results, and its grow-only buffers never
+    /// corrupt a later (smaller or larger) pass — the tentpole's
+    /// workspace-reuse contract, including agreement with the
+    /// decode-based reference datapath.
+    #[test]
+    fn reused_workspace_forward_matches_fresh_and_reference(
+        w1 in proptest::collection::vec(-0.9f32..0.9, 32),
+        w2 in proptest::collection::vec(-0.9f32..0.9, 24),
+        xs in proptest::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        let mut net = mlp_with_weights(&w1, &w2);
+        let calib = Tensor::from_vec(vec![0.5; 8], Shape::d2(2, 4)).unwrap();
+        let plan = calibrate(&mut net, &[(calib, vec![0, 1])], 8).unwrap();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let mut ws = q.plan().workspace();
+        for s in 0..3 {
+            let img = Tensor::from_vec(xs[s * 4..(s + 1) * 4].to_vec(), Shape::d1(4)).unwrap();
+            let fresh = q.forward_codes(&img).unwrap();
+            let reference = q.forward_codes_reference(&img).unwrap();
+            let via_ws = q.forward_codes_with(&img, &mut ws).unwrap();
+            prop_assert_eq!(via_ws, &fresh[..], "workspace pass diverged at image {}", s);
+            prop_assert_eq!(fresh, reference, "packed vs reference diverged at image {}", s);
+        }
+    }
+
     /// Quantization never introduces NaN/∞ into the working network.
     #[test]
     fn quantization_keeps_values_finite(

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use mfdfp_core::{CoreError, Ensemble, QuantizedNet};
-use mfdfp_tensor::Tensor;
+use mfdfp_tensor::{Tensor, Workspace, WorkspacePlan};
 
 use crate::error::{Result, ServeError};
 
@@ -48,6 +48,36 @@ impl ServedModel {
         match self {
             ServedModel::Single(net) => net.logits_batch(batch),
             ServedModel::Ensemble(e) => e.logits_batch(batch),
+        }
+    }
+
+    /// The allocation-free batched-logits entry the dispatch workers use:
+    /// `data` is `n` images flat, `out` receives the `n × classes` logits
+    /// row-major, and all scratch comes from `ws`. Values are identical
+    /// to [`ServedModel::logits_batch`] on the same stacked batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults and shape mismatches.
+    pub fn logits_batch_into(
+        &self,
+        data: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> std::result::Result<(), CoreError> {
+        match self {
+            ServedModel::Single(net) => net.logits_batch_into(data, n, ws, out),
+            ServedModel::Ensemble(e) => e.logits_batch_into(data, n, ws, out),
+        }
+    }
+
+    /// Peak workspace sizes for serving this model (see
+    /// [`QuantizedNet::plan`] / [`Ensemble::plan`]).
+    pub fn plan(&self) -> WorkspacePlan {
+        match self {
+            ServedModel::Single(net) => net.plan(),
+            ServedModel::Ensemble(e) => e.plan(),
         }
     }
 

@@ -1,12 +1,13 @@
 //! The serving runtime: admission control → bounded queue → micro-batcher
 //! worker pool → batched integer inference → per-request responses.
 
+use std::cell::RefCell;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mfdfp_tensor::{Shape, Tensor};
+use mfdfp_tensor::{Tensor, Workspace};
 
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
@@ -266,6 +267,41 @@ fn partition_by_model(batch: Vec<Request>) -> Vec<Vec<Request>> {
     groups.into_iter().map(|(_, g)| g).collect()
 }
 
+/// Per-worker dispatch scratch: the flattened input batch, the logits
+/// output row-block (both grow-only) and the worker's own inference
+/// [`Workspace`]. Owning the workspace here — rather than borrowing the
+/// shared per-thread one — keeps that thread-level workspace free for
+/// image-chunk tasks the pool may hand back to this same thread under
+/// the `parallel` feature (the rt help-first protocol), so a warmed
+/// dispatch's inference performs zero heap allocations on every path;
+/// only the per-request response materialisation (one logits `Tensor`
+/// per ticket, the channel send) still allocates, because those buffers
+/// leave the worker with the response.
+#[derive(Default)]
+struct WorkerScratch {
+    data: Vec<f32>,
+    logits: Vec<f32>,
+    ws: Workspace,
+}
+
+thread_local! {
+    /// One staging scratch per worker thread — dispatch runs either on a
+    /// serving worker (serial build) or on a persistent pool thread
+    /// (`parallel` feature), and both live as long as the process.
+    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// Runs `f` with the calling thread's persistent staging scratch; falls
+/// back to a fresh scratch if the thread is already dispatching (a pool
+/// thread helping with a stolen dispatch task while its own inference
+/// scope waits).
+fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+    WORKER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut WorkerScratch::default()),
+    })
+}
+
 /// Runs one same-model group as a single batched inference and answers
 /// every member. Inference faults fan the error out to the whole group.
 ///
@@ -273,49 +309,49 @@ fn partition_by_model(batch: Vec<Request>) -> Vec<Vec<Request>> {
 /// element slices, so per-image shape is irrelevant): requests that were
 /// admitted with equal element counts but different shapes, e.g. `[768]`
 /// next to `[3,16,16]`, batch together instead of poisoning each other.
+/// Staging and inference scratch come from the worker's persistent
+/// buffers ([`WorkerScratch`] + the thread workspace), so a warmed
+/// worker's steady-state compute performs zero heap allocations.
 fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
     metrics.record_batch(group.len());
     let model = group[0].model.clone();
     let batch_size = group.len();
-    let per_image = group[0].image.len();
-    let mut data = Vec::with_capacity(batch_size * per_image);
-    let mut meta = Vec::with_capacity(batch_size);
-    for request in group {
-        data.extend_from_slice(request.image.as_slice());
-        meta.push((request.model_name, request.submitted, request.tx));
-    }
-    let stacked = Tensor::from_vec(data, Shape::d2(batch_size, per_image))
-        .expect("group images share a length by partition key");
-    match model.logits_batch(&stacked) {
-        Ok(logits) => {
-            let rows = logits.unstack_axis0();
-            for ((model_name, submitted, tx), row) in meta.into_iter().zip(rows) {
-                let response = Response {
-                    model: model_name,
-                    class: row.argmax(),
-                    logits: row,
-                    batch_size,
-                    latency: submitted.elapsed(),
-                };
-                metrics.record_completed(response.latency);
-                // A dropped Ticket is not an error; the work is done.
-                let _ = tx.send(Ok(response));
+    let classes = model.classes();
+    with_worker_scratch(|scratch| {
+        scratch.data.clear();
+        for request in &group {
+            scratch.data.extend_from_slice(request.image.as_slice());
+        }
+        scratch.logits.resize(batch_size * classes, 0.0);
+        let inference = model.logits_batch_into(
+            &scratch.data,
+            batch_size,
+            &mut scratch.ws,
+            &mut scratch.logits,
+        );
+        match inference {
+            Ok(()) => {
+                for (row, request) in scratch.logits.chunks(classes).zip(group) {
+                    let logits = Tensor::from_slice(row);
+                    let response = Response {
+                        model: request.model_name,
+                        class: logits.argmax(),
+                        logits,
+                        batch_size,
+                        latency: request.submitted.elapsed(),
+                    };
+                    metrics.record_completed(response.latency);
+                    // A dropped Ticket is not an error; the work is done.
+                    let _ = request.tx.send(Ok(response));
+                }
+            }
+            Err(e) => {
+                let err = ServeError::Inference(e);
+                for request in group {
+                    let _ = request.tx.send(Err(err.clone()));
+                    metrics.record_failed();
+                }
             }
         }
-        Err(e) => {
-            let err = ServeError::Inference(e);
-            fan_out_error(&meta, &err);
-            for _ in 0..batch_size {
-                metrics.record_failed();
-            }
-        }
-    }
-}
-
-type RequestMeta = (String, Instant, mpsc::Sender<Result<Response>>);
-
-fn fan_out_error(meta: &[RequestMeta], err: &ServeError) {
-    for (_, _, tx) in meta {
-        let _ = tx.send(Err(err.clone()));
-    }
+    });
 }

@@ -43,6 +43,7 @@ pub mod ops;
 pub mod par;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use error::{Result, TensorError};
 pub use init::TensorRng;
@@ -57,9 +58,10 @@ pub use ops::matmul::{gemm, gemm_serial, matvec, Transpose};
 pub use ops::pool::{pool_backward, pool_forward, PoolGeometry, PoolKind};
 #[cfg(feature = "parallel")]
 pub use ops::qgemm::qgemm_parallel;
-pub use ops::qgemm::{qgemm, qgemm_into, qgemm_serial};
+pub use ops::qgemm::{qgemm, qgemm_i8, qgemm_into, qgemm_into_i8, qgemm_serial};
 pub use ops::reduce::{
     argmax_rows, log_softmax, softmax, softmax_with_temperature, sum_axis0, topk_rows,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{with_thread_workspace, Workspace, WorkspacePlan};

@@ -31,9 +31,19 @@
 //! to the decode-based reference for every input (property-tested in
 //! `crates/accel/tests/qgemm_equivalence.rs`).
 //!
-//! Audits: operands are checked against the 9-bit bound that keeps every
-//! shifted product inside the 16-bit product register, and each routed
-//! accumulator is checked against the 32-bit accumulator register —
+//! Two activation widths enter the same kernel: the historical `i32`
+//! staging entries ([`qgemm_into`]/[`qgemm`]) and the `i8` streaming
+//! entries ([`qgemm_into_i8`]/[`qgemm_i8`]) that take raw activation
+//! codes — a quarter of the im2col bandwidth, widened in register, with
+//! the operand audit made *structural* (an 8-bit code cannot exceed the
+//! 9-bit bound, so the per-call scan disappears). The kernel's
+//! accumulator lanes live in per-thread scratch (`with_acc_lanes` in the
+//! [`crate::workspace`] module), so a warmed thread — e.g. a persistent
+//! `mfdfp-rt` pool worker — runs the kernel with zero heap allocations.
+//!
+//! Audits: `i32` operands are checked against the 9-bit bound that keeps
+//! every shifted product inside the 16-bit product register, and each
+//! routed accumulator is checked against the 32-bit accumulator register —
 //! [`TensorError::QuantizedOverflow`] mirrors the decode path's
 //! per-level overflow audits at kernel granularity. The bit-identical
 //! contract is over **successful** results: the decode path audits the
@@ -47,6 +57,114 @@
 use mfdfp_dfp::{fits_in_bits, realign, saturate, PackedPow2Matrix, ACCUMULATOR_BITS};
 
 use crate::error::{Result, TensorError};
+use crate::workspace::with_acc_lanes;
+
+/// Activation element the band kernel streams: widened to `i32` in
+/// register, one load per MAC. Sealed — the two implementations are the
+/// kernel's two entry widths.
+///
+/// * `i32` — the historical im2col staging type; operands must pass the
+///   9-bit audit before entering the kernel.
+/// * `i8` — raw activation codes. Every `i8` is structurally inside the
+///   9-bit operand bound, so this path has **no audit scan at all** and
+///   moves a quarter of the bytes.
+pub trait QgemmAct: Copy + Send + Sync + sealed::Sealed {
+    /// One synapse's contribution across a whole activation row:
+    /// `acc[j] += ((x[j] << sh) ^ m) − m` — the negate-by-mask MAC body,
+    /// staged at whatever intermediate width suits the element type.
+    fn accumulate_row(acc: &mut [i32], xrow: &[Self], sh: u32, m: i32);
+}
+
+mod sealed {
+    /// Seals [`super::QgemmAct`] to the two kernel widths.
+    pub trait Sealed {}
+    impl Sealed for i32 {}
+    impl Sealed for i8 {}
+}
+
+/// Row width below which the multiversioned SIMD body is not worth its
+/// call overhead: narrow rows — above all `ncols = 1`, every
+/// `ShiftLinear` — take the always-inlined scalar body instead, so the
+/// feature check and the non-inlinable `#[target_feature]` call are
+/// hoisted out of the per-synapse path exactly where they cannot pay.
+const SIMD_MIN_ROW: usize = 16;
+
+impl QgemmAct for i32 {
+    #[inline]
+    fn accumulate_row(acc: &mut [i32], xrow: &[Self], sh: u32, m: i32) {
+        #[cfg(target_arch = "x86_64")]
+        if xrow.len() >= SIMD_MIN_ROW && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement is runtime-checked just above
+            // (the detection result is cached by std, so this is a load
+            // and branch, not a CPUID, on the hot path).
+            unsafe { accumulate_row_i32_avx2(acc, xrow, sh, m) };
+            return;
+        }
+        for (a, &x) in acc.iter_mut().zip(xrow) {
+            *a += ((x << sh) ^ m) - m;
+        }
+    }
+}
+
+impl QgemmAct for i8 {
+    /// The shifted product of an 8-bit code fits 16 bits (`|x| ≤ 128`,
+    /// `sh ≤ 7` ⇒ `|x << sh| ≤ 2^14` — the same bound the 9-bit operand
+    /// audit enforces on the `i32` path), so the shift and the
+    /// negate-by-mask run at `i16` width and only the final accumulate
+    /// widens to 32 bits. Exact at every step, hence bit-identical to
+    /// the `i32` body — and twice the SIMD lanes for the hot ops.
+    #[inline]
+    fn accumulate_row(acc: &mut [i32], xrow: &[Self], sh: u32, m: i32) {
+        #[cfg(target_arch = "x86_64")]
+        if xrow.len() >= SIMD_MIN_ROW && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement is runtime-checked just above.
+            unsafe { accumulate_row_i8_avx2(acc, xrow, sh, m) };
+            return;
+        }
+        let m16 = m as i16;
+        for (a, &x) in acc.iter_mut().zip(xrow) {
+            let p = (((x as i16) << sh) ^ m16) - m16;
+            *a += p as i32;
+        }
+    }
+}
+
+/// The `i32` MAC body compiled with AVX2 codegen: identical Rust to the
+/// portable body in [`QgemmAct::accumulate_row`], so results are
+/// bit-identical — integer shift/xor/sub/add do not change meaning with
+/// vector width; only the throughput does (~2× on the 256-column
+/// microbenchmark versus baseline SSE2 codegen).
+///
+/// # Safety
+///
+/// Callers must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_row_i32_avx2(acc: &mut [i32], xrow: &[i32], sh: u32, m: i32) {
+    for (a, &x) in acc.iter_mut().zip(xrow) {
+        *a += ((x << sh) ^ m) - m;
+    }
+}
+
+/// The `i8` MAC body compiled with AVX2 codegen (see
+/// [`accumulate_row_i32_avx2`] for the multiversioning contract): the
+/// `i16`-staged shift/negate runs 16 lanes per instruction, which is
+/// what lets the byte-streamed entry match the `i32` entry's in-cache
+/// throughput while moving a quarter of the bytes.
+///
+/// # Safety
+///
+/// Callers must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_row_i8_avx2(acc: &mut [i32], xrow: &[i8], sh: u32, m: i32) {
+    let m16 = m as i16;
+    for (a, &x) in acc.iter_mut().zip(xrow) {
+        let p = (((x as i16) << sh) ^ m16) - m16;
+        *a += p as i32;
+    }
+}
 
 /// Left-shift amount per 4-bit code: `e + 7` where `e = −(code & 7)`.
 const SHIFT: [u32; 16] = build_shift_table();
@@ -85,13 +203,27 @@ const fn build_sign_table() -> [i32; 16] {
     t
 }
 
-/// Shape/operand validation shared by every entry point; returns the
-/// inner dimension `k`.
-fn qgemm_check(
+/// Audits `i32` operands against the 9-bit bound that keeps every shifted
+/// product inside the 16-bit product register. The `i8` entry never calls
+/// this: an 8-bit code is structurally inside the bound, which is what
+/// lets that path delete the O(k·ncols) scan entirely.
+fn audit_operands(xt: &[i32]) -> Result<()> {
+    for &x in xt {
+        if !fits_in_bits(x as i64, X_BITS) {
+            return Err(TensorError::QuantizedOverflow { value: x as i64, bits: X_BITS });
+        }
+    }
+    Ok(())
+}
+
+/// Shape validation shared by every entry point; returns the inner
+/// dimension `k`. Operand auditing is separate ([`audit_operands`]) —
+/// only the `i32` entries need it.
+fn qgemm_check<T: QgemmAct>(
     w: &PackedPow2Matrix,
     row0: usize,
     rows: usize,
-    xt: &[i32],
+    xt: &[T],
     ncols: usize,
     bias: &[i64],
     out_len: usize,
@@ -113,31 +245,35 @@ fn qgemm_check(
     if out_len != rows * ncols {
         return Err(TensorError::DataLength { expected: rows * ncols, actual: out_len });
     }
-    for &x in xt {
-        if !fits_in_bits(x as i64, X_BITS) {
-            return Err(TensorError::QuantizedOverflow { value: x as i64, bits: X_BITS });
-        }
-    }
     Ok(k)
 }
 
 /// The serial band kernel: computes output rows `[band0, band0 + rows)` of
 /// the packed product into `out` (`rows × ncols`, row-major activation
-/// codes). `bias` is indexed relative to the band.
+/// codes). `bias` is indexed relative to the band. Generic over the
+/// activation element ([`QgemmAct`]): `i8` codes are widened in register,
+/// one sign-extending load per MAC, so the kernel streams a quarter of
+/// the im2col bytes the `i32` entry moves.
 ///
 /// Loop nest: per weight nibble, the shift amount and sign mask are
 /// resolved **once** and applied across the whole activation row (the
 /// im2col layout makes that row contiguous); the per-MAC body is
-/// `shift, xor, sub, add` with a loop-invariant shift count — branch-free,
-/// multiplier-free, and auto-vectorizable. Each synapse contributes on
-/// its sign's side of the accumulation via negate-by-mask; the pad nibble
-/// of an odd-length row is never read because `c` stops at `cols`.
+/// `widen, shift, xor, sub, add` with a loop-invariant shift count —
+/// branch-free, multiplier-free, and auto-vectorizable. Each synapse
+/// contributes on its sign's side of the accumulation via negate-by-mask;
+/// the pad nibble of an odd-length row is never read because `c` stops at
+/// `cols`.
+///
+/// The accumulator lanes come from the calling thread's persistent
+/// scratch ([`with_acc_lanes`]) — the parallel dispatcher runs one band
+/// per pool thread, so after each thread's first call the kernel
+/// allocates nothing.
 #[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
-fn qgemm_band(
+fn qgemm_band<T: QgemmAct>(
     w: &PackedPow2Matrix,
     band0: usize,
     rows: usize,
-    xt: &[i32],
+    xt: &[T],
     ncols: usize,
     bias: &[i64],
     acc_frac: i32,
@@ -145,36 +281,37 @@ fn qgemm_band(
     out: &mut [i8],
 ) -> Result<()> {
     let k = w.cols();
-    let mut acc64 = vec![0i64; ncols];
-    let mut acc32 = vec![0i32; ncols];
-    for r in 0..rows {
-        let wrow = w.row_bytes(band0 + r);
-        acc64.fill(bias[r]);
-        for c0 in (0..k).step_by(ACC32_CHUNK) {
-            let c1 = (c0 + ACC32_CHUNK).min(k);
-            acc32.fill(0);
-            for c in c0..c1 {
-                let code = ((wrow[c >> 1] >> ((c & 1) * 4)) & 0xF) as usize;
-                let sh = SHIFT[code];
-                let m = SIGN_MASK[code];
-                let xrow = &xt[c * ncols..(c + 1) * ncols];
-                for (a, &x) in acc32.iter_mut().zip(xrow) {
-                    *a += ((x << sh) ^ m) - m;
+    with_acc_lanes(ncols, |acc64, acc32| {
+        for r in 0..rows {
+            let wrow = w.row_bytes(band0 + r);
+            acc64.fill(bias[r]);
+            for c0 in (0..k).step_by(ACC32_CHUNK) {
+                let c1 = (c0 + ACC32_CHUNK).min(k);
+                acc32.fill(0);
+                for c in c0..c1 {
+                    let code = ((wrow[c >> 1] >> ((c & 1) * 4)) & 0xF) as usize;
+                    let sh = SHIFT[code];
+                    let m = SIGN_MASK[code];
+                    let xrow = &xt[c * ncols..(c + 1) * ncols];
+                    T::accumulate_row(acc32, xrow, sh, m);
+                }
+                for (a64, &a32) in acc64.iter_mut().zip(acc32.iter()) {
+                    *a64 += a32 as i64;
                 }
             }
-            for (a64, &a32) in acc64.iter_mut().zip(&acc32) {
-                *a64 += a32 as i64;
+            let orow = &mut out[r * ncols..(r + 1) * ncols];
+            for (o, &acc) in orow.iter_mut().zip(acc64.iter()) {
+                if !fits_in_bits(acc, ACCUMULATOR_BITS) {
+                    return Err(TensorError::QuantizedOverflow {
+                        value: acc,
+                        bits: ACCUMULATOR_BITS,
+                    });
+                }
+                *o = saturate(realign(acc, acc_frac, out_frac), 8) as i8;
             }
         }
-        let orow = &mut out[r * ncols..(r + 1) * ncols];
-        for (o, &acc) in orow.iter_mut().zip(&acc64) {
-            if !fits_in_bits(acc, ACCUMULATOR_BITS) {
-                return Err(TensorError::QuantizedOverflow { value: acc, bits: ACCUMULATOR_BITS });
-            }
-            *o = saturate(realign(acc, acc_frac, out_frac), 8) as i8;
-        }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 /// Computes output rows `[row0, row0 + rows)` of the packed shift-only
@@ -213,10 +350,60 @@ pub fn qgemm_into(
     out_frac: i32,
     out: &mut [i8],
 ) -> Result<()> {
-    let _k = qgemm_check(w, row0, rows, xt, ncols, bias, out.len())?;
+    qgemm_check(w, row0, rows, xt, ncols, bias, out.len())?;
+    audit_operands(xt)?;
+    dispatch_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
+}
+
+/// The `i8` streaming entry: identical product to [`qgemm_into`], but the
+/// im2col activations arrive as raw 8-bit codes and are widened in
+/// register — a quarter of the staging traffic, and **no operand audit
+/// scan**: every `i8` is structurally inside the 9-bit bound, so the
+/// audit is a property of the type, not a per-call O(k·ncols) pass.
+///
+/// This is the deployed hot path's entry (`ShiftConv::run_with` /
+/// `ShiftLinear::run_with` in `mfdfp-accel` stream it directly over their
+/// activation-code buffers).
+///
+/// # Errors
+///
+/// [`TensorError::BadGeometry`]/[`TensorError::DataLength`] on shape
+/// mismatches, [`TensorError::QuantizedOverflow`] if an accumulator
+/// leaves its 32-bit register (operands cannot overflow by construction).
+#[allow(clippy::too_many_arguments)] // kernel entry: slices + full index frame
+pub fn qgemm_into_i8(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[i8],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
+    qgemm_check(w, row0, rows, xt, ncols, bias, out.len())?;
+    dispatch_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
+}
+
+/// Shared serial/parallel dispatch: bands whose work crosses the `par`
+/// module threshold fan output rows across the persistent pool; audits
+/// and shape checks have already run.
+#[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
+fn dispatch_band<T: QgemmAct>(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[T],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
     #[cfg(feature = "parallel")]
     if rows >= 2
-        && rows * _k.max(1) * ncols.max(1) >= crate::par::MIN_MACS
+        && rows * w.cols().max(1) * ncols.max(1) >= crate::par::MIN_MACS
         && crate::par::threads() >= 2
     {
         return qgemm_band_parallel(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out);
@@ -224,23 +411,25 @@ pub fn qgemm_into(
     qgemm_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
 }
 
-/// Row-parallel band execution over `par::for_each_row_chunk`.
-/// The first audit failure (if any) wins; chunks are disjoint so no
-/// synchronisation beyond the error slot is needed.
+/// Row-parallel band execution over `par::for_each_row_chunk`. The first
+/// audit failure (in chunk-claim order) wins via a write-once slot —
+/// `OnceLock::set` cannot poison, so a panicking sibling chunk unwinds
+/// through the scope without turning the audit error into a second panic.
+/// Chunks are disjoint, so no further synchronisation is needed.
 #[cfg(feature = "parallel")]
 #[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
-fn qgemm_band_parallel(
+fn qgemm_band_parallel<T: QgemmAct>(
     w: &PackedPow2Matrix,
     row0: usize,
     rows: usize,
-    xt: &[i32],
+    xt: &[T],
     ncols: usize,
     bias: &[i64],
     acc_frac: i32,
     out_frac: i32,
     out: &mut [i8],
 ) -> Result<()> {
-    let error = std::sync::Mutex::new(None);
+    let error = std::sync::OnceLock::new();
     crate::par::for_each_row_chunk(out, rows, ncols, |r0, nrows, chunk| {
         if let Err(e) = qgemm_band(
             w,
@@ -253,10 +442,10 @@ fn qgemm_band_parallel(
             out_frac,
             chunk,
         ) {
-            error.lock().expect("qgemm error slot poisoned").get_or_insert(e);
+            let _ = error.set(e);
         }
     });
-    match error.into_inner().expect("qgemm error slot poisoned") {
+    match error.into_inner() {
         Some(e) => Err(e),
         None => Ok(()),
     }
@@ -306,6 +495,43 @@ pub fn qgemm(
     Ok(out)
 }
 
+/// Whole-matrix convenience over the `i8` streaming entry
+/// ([`qgemm_into_i8`]): activations arrive as raw 8-bit codes, no audit
+/// scan, a quarter of the staging traffic. Bit-identical to [`qgemm`] on
+/// the widened copy of the same codes.
+///
+/// # Errors
+///
+/// See [`qgemm_into_i8`].
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::PackedPow2Matrix;
+/// use mfdfp_tensor::ops::qgemm::{qgemm, qgemm_i8};
+///
+/// let w = PackedPow2Matrix::from_f32(2, 3, &[0.5, -1.0, 0.25, 1.0, 0.125, -0.5])?;
+/// let codes = [64i8, 10, -32];
+/// let widened: Vec<i32> = codes.iter().map(|&c| c as i32).collect();
+/// assert_eq!(
+///     qgemm_i8(&w, &codes, 1, &[0, 0], 7 + 7, 7)?,
+///     qgemm(&w, &widened, 1, &[0, 0], 7 + 7, 7)?,
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn qgemm_i8(
+    w: &PackedPow2Matrix,
+    xt: &[i8],
+    ncols: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+) -> Result<Vec<i8>> {
+    let mut out = vec![0i8; w.rows() * ncols];
+    qgemm_into_i8(w, 0, w.rows(), xt, ncols, bias, acc_frac, out_frac, &mut out)?;
+    Ok(out)
+}
+
 /// Single-threaded packed GEMM — the deterministic reference schedule
 /// (the kernel itself is shared with the parallel path).
 ///
@@ -323,6 +549,7 @@ pub fn qgemm_serial(
     let rows = w.rows();
     let mut out = vec![0i8; rows * ncols];
     qgemm_check(w, 0, rows, xt, ncols, bias, out.len())?;
+    audit_operands(xt)?;
     qgemm_band(w, 0, rows, xt, ncols, bias, acc_frac, out_frac, &mut out)?;
     Ok(out)
 }
@@ -346,6 +573,7 @@ pub fn qgemm_parallel(
     let rows = w.rows();
     let mut out = vec![0i8; rows * ncols];
     qgemm_check(w, 0, rows, xt, ncols, bias, out.len())?;
+    audit_operands(xt)?;
     qgemm_band_parallel(w, 0, rows, xt, ncols, bias, acc_frac, out_frac, &mut out)?;
     Ok(out)
 }
@@ -517,6 +745,77 @@ mod tests {
             qgemm_into(&w, row0, rows, &xt, 4, &bias[row0..row0 + rows], 12, 5, &mut band).unwrap();
             assert_eq!(band, full[row0 * 4..(row0 + rows) * 4], "band {row0}+{rows}");
         }
+    }
+
+    #[test]
+    fn i8_entry_matches_widened_i32_entry() {
+        for (rows, cols, ncols) in [(1, 1, 1), (3, 7, 5), (4, 16, 2), (5, 9, 9), (2, 33, 3)] {
+            let w = codes_matrix(rows, cols, (rows * 13 + cols * 5 + ncols) as u64);
+            let xt32 = inputs(ncols * cols, 55);
+            let xt8: Vec<i8> = xt32.iter().map(|&x| x as i8).collect();
+            let bias: Vec<i64> = (0..rows).map(|r| (r as i64 - 1) * 50).collect();
+            assert_eq!(
+                qgemm_i8(&w, &xt8, ncols, &bias, 12, 5).unwrap(),
+                qgemm(&w, &xt32, ncols, &bias, 12, 5).unwrap(),
+                "rows={rows} cols={cols} ncols={ncols}"
+            );
+        }
+    }
+
+    #[test]
+    fn i8_band_matches_full_product() {
+        let w = codes_matrix(6, 10, 43);
+        let xt: Vec<i8> = inputs(10 * 4, 8).iter().map(|&x| x as i8).collect();
+        let bias: Vec<i64> = (0..6).map(|r| r as i64 * 32).collect();
+        let full = qgemm_i8(&w, &xt, 4, &bias, 12, 5).unwrap();
+        for (row0, rows) in [(0usize, 3usize), (3, 3), (4, 2)] {
+            let mut band = vec![0i8; rows * 4];
+            qgemm_into_i8(&w, row0, rows, &xt, 4, &bias[row0..row0 + rows], 12, 5, &mut band)
+                .unwrap();
+            assert_eq!(band, full[row0 * 4..(row0 + rows) * 4], "band {row0}+{rows}");
+        }
+    }
+
+    #[test]
+    fn i8_entry_validates_shapes() {
+        let w = codes_matrix(2, 4, 9);
+        let bias = vec![0i64; 2];
+        let xt: Vec<i8> = inputs(4, 5).iter().map(|&x| x as i8).collect();
+        assert!(qgemm_i8(&w, &xt, 1, &bias, 10, 3).is_ok());
+        assert!(qgemm_i8(&w, &xt[..3], 1, &bias, 10, 3).is_err());
+        assert!(qgemm_i8(&w, &xt, 1, &[0], 10, 3).is_err());
+        let mut out = vec![0i8; 1];
+        assert!(qgemm_into_i8(&w, 0, 2, &xt, 1, &bias, 10, 3, &mut out).is_err());
+        assert!(qgemm_into_i8(&w, 1, 2, &xt, 1, &bias, 10, 3, &mut out).is_err());
+    }
+
+    #[test]
+    fn i8_extremes_are_structurally_in_bounds() {
+        // -128 and 127 are the rails of the code space; both must route
+        // without any operand audit (there is none on this path).
+        let w = codes_matrix(3, 8, 5);
+        let xt = [-128i8, 127, -128, 127, -128, 127, -128, 127];
+        let bias = vec![0i64; 3];
+        let widened: Vec<i32> = xt.iter().map(|&x| x as i32).collect();
+        assert_eq!(
+            qgemm_i8(&w, &xt, 1, &bias, 10, 3).unwrap(),
+            qgemm(&w, &widened, 1, &bias, 10, 3).unwrap()
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn i8_parallel_dispatch_bit_identical() {
+        // Large enough to cross MIN_MACS under MFDFP_THREADS >= 2.
+        let (rows, cols, ncols) = (64, 64, 64);
+        let w = codes_matrix(rows, cols, 3);
+        let xt: Vec<i8> = inputs(cols * ncols, 4).iter().map(|&x| x as i8).collect();
+        let bias: Vec<i64> = (0..rows).map(|r| r as i64).collect();
+        let mut via_dispatch = vec![0i8; rows * ncols];
+        qgemm_into_i8(&w, 0, rows, &xt, ncols, &bias, 13, 4, &mut via_dispatch).unwrap();
+        let mut serial = vec![0i8; rows * ncols];
+        qgemm_band(&w, 0, rows, &xt, ncols, &bias, 13, 4, &mut serial).unwrap();
+        assert_eq!(via_dispatch, serial);
     }
 
     #[cfg(feature = "parallel")]

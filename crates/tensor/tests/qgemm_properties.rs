@@ -4,7 +4,7 @@
 //! determinism (serial ≡ parallel, band ≡ full product).
 
 use mfdfp_dfp::{realign, saturate, PackedPow2Matrix, Pow2Weight};
-use mfdfp_tensor::{qgemm, qgemm_into, qgemm_serial};
+use mfdfp_tensor::{qgemm, qgemm_i8, qgemm_into, qgemm_into_i8, qgemm_serial};
 use proptest::prelude::*;
 
 /// Decode-based oracle: per-element `Pow2Weight::mul_shift`, exact i64
@@ -128,5 +128,70 @@ proptest! {
                 mfdfp_tensor::qgemm_parallel(&w, &xt, ncols, &bias, 13, 5).unwrap();
             prop_assert_eq!(&serial, &parallel);
         }
+    }
+
+    /// The `i8` streaming entry (no operand audit, in-register widening)
+    /// equals both the `i32` entry on the widened copy of the same codes
+    /// and the decode oracle — the structural-audit claim: every `i8`
+    /// bit pattern is a legal operand.
+    #[test]
+    fn i8_entry_matches_i32_entry_and_oracle(
+        rows in 1usize..8,
+        cols in 1usize..34,
+        ncols in 1usize..6,
+        seed in 0u64..100_000,
+        acc_frac in 7i32..15,
+        out_frac in 0i32..8,
+    ) {
+        let mut state = seed.wrapping_mul(0xA24BAED4963EE407) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let codes: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let w = PackedPow2Matrix::from_weights(rows, cols, &codes).unwrap();
+        let xt8: Vec<i8> = (0..ncols * cols).map(|_| (next() % 256) as u8 as i8).collect();
+        let xt32: Vec<i32> = xt8.iter().map(|&x| x as i32).collect();
+        let bias: Vec<i64> = (0..rows).map(|_| (next() % 8192) as i64 - 4096).collect();
+        let got8 = qgemm_i8(&w, &xt8, ncols, &bias, acc_frac, out_frac).unwrap();
+        let got32 = qgemm(&w, &xt32, ncols, &bias, acc_frac, out_frac).unwrap();
+        prop_assert_eq!(&got8, &got32);
+        prop_assert_eq!(got8, decode_oracle(&w, &xt32, ncols, &bias, acc_frac, out_frac));
+    }
+
+    /// `i8` row bands compose like the `i32` ones — the invariant the
+    /// grouped-convolution hot path relies on after the streaming switch.
+    #[test]
+    fn i8_row_bands_compose_to_full_product(
+        rows in 2usize..8,
+        cols in 1usize..20,
+        ncols in 1usize..5,
+        seed in 0u64..100_000,
+        split in 1usize..7,
+    ) {
+        let split = split.min(rows - 1);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let codes: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| Pow2Weight::decode4((next() % 16) as u8).unwrap())
+            .collect();
+        let w = PackedPow2Matrix::from_weights(rows, cols, &codes).unwrap();
+        let xt: Vec<i8> = (0..ncols * cols).map(|_| ((next() % 200) as i32 - 100) as i8).collect();
+        let bias: Vec<i64> = (0..rows).map(|r| r as i64 * 17 - 40).collect();
+        let full = qgemm_i8(&w, &xt, ncols, &bias, 12, 4).unwrap();
+        let mut pieced = vec![0i8; rows * ncols];
+        let (lo, hi) = pieced.split_at_mut(split * ncols);
+        qgemm_into_i8(&w, 0, split, &xt, ncols, &bias[..split], 12, 4, lo).unwrap();
+        qgemm_into_i8(&w, split, rows - split, &xt, ncols, &bias[split..], 12, 4, hi).unwrap();
+        prop_assert_eq!(pieced, full);
     }
 }
