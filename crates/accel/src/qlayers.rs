@@ -41,7 +41,7 @@
 //! synapses per neuron, far outside the paper's layer sizes; see the
 //! `qgemm` module docs.)
 
-use mfdfp_dfp::{Accumulator, AdderTree, PackedPow2Matrix, Pow2Weight};
+use mfdfp_dfp::{Accumulator, AdderTree, I64Section, PackedPow2Matrix, Pow2Weight};
 use mfdfp_tensor::{qgemm_into_i8, with_thread_workspace, ConvGeometry, Workspace};
 
 use crate::error::{AccelError, Result};
@@ -59,8 +59,9 @@ pub struct ShiftConv {
     /// synapses each (`OutC×InC/g×k×k` order, nibble-packed per row).
     pub weights: PackedPow2Matrix,
     /// Per-output-channel bias, pre-aligned to the accumulator format
-    /// (fractional length `m + 7`).
-    pub bias: Vec<i64>,
+    /// (fractional length `m + 7`). Owned values or a zero-copy window
+    /// into a deployment image ([`I64Section`]).
+    pub bias: I64Section,
     /// Input activation fractional length `m`.
     pub in_frac: i8,
     /// Output activation fractional length `n`.
@@ -280,7 +281,9 @@ pub struct ShiftLinear {
     /// synapses each, nibble-packed per row.
     pub weights: PackedPow2Matrix,
     /// Per-output bias in accumulator format (fractional length `m + 7`).
-    pub bias: Vec<i64>,
+    /// Owned values or a zero-copy window into a deployment image
+    /// ([`I64Section`]).
+    pub bias: I64Section,
     /// Input activation fractional length `m`.
     pub in_frac: i8,
     /// Output activation fractional length `n`.
@@ -628,7 +631,7 @@ mod tests {
             in_features: 4,
             out_features: 2,
             weights: pack(2, 4, &ws),
-            bias: vec![0, 0],
+            bias: vec![0, 0].into(),
             in_frac: 7,
             out_frac: 5,
         };
@@ -649,7 +652,7 @@ mod tests {
             in_features: 1,
             out_features: 1,
             weights: pack(1, 1, &[1.0]),
-            bias: vec![1 << 11], // 1.0 at fractional length m+7 = 11
+            bias: vec![1 << 11].into(), // 1.0 at fractional length m+7 = 11
             in_frac: 4,
             out_frac: 4,
         };
@@ -664,7 +667,7 @@ mod tests {
             in_features: 4,
             out_features: 1,
             weights: pack(1, 4, &[1.0; 4]),
-            bias: vec![0],
+            bias: vec![0].into(),
             in_frac: 0,
             out_frac: 7, // huge upscale forces saturation
         };
@@ -677,7 +680,7 @@ mod tests {
             in_features: inf,
             out_features: outf,
             weights: pack(outf, inf, &vec![0.5f32; inf * outf]),
-            bias: vec![0; outf],
+            bias: vec![0; outf].into(),
             in_frac: 7,
             out_frac: 7,
         }
@@ -700,8 +703,13 @@ mod tests {
         let in_fmt = DfpFormat::q8(6);
         let xvals = [0.5f32, 0.25, -0.5, 1.0, -0.25, 0.125, 0.5, 0.5, -1.0];
         let wvals = [0.5f32, -0.5, 0.25, 1.0];
-        let layer =
-            ShiftConv { geom, weights: pack(1, 4, &wvals), bias: vec![0], in_frac: 6, out_frac: 5 };
+        let layer = ShiftConv {
+            geom,
+            weights: pack(1, 4, &wvals),
+            bias: vec![0].into(),
+            in_frac: 6,
+            out_frac: 5,
+        };
         let codes: Vec<i8> = xvals.iter().map(|&x| in_fmt.quantize(x) as i8).collect();
         let out = layer.run(&codes).unwrap();
         assert_eq!(out, layer.run_reference(&codes, &tree16()).unwrap());
@@ -719,7 +727,7 @@ mod tests {
         let layer = ShiftConv {
             geom,
             weights: pack(1, 9, &[1.0; 9]),
-            bias: vec![0],
+            bias: vec![0].into(),
             in_frac: 0,
             out_frac: 0,
         };
@@ -737,7 +745,7 @@ mod tests {
         let layer = ShiftConv {
             geom,
             weights: pack(2, 1, &[1.0; 2]),
-            bias: vec![0, 0],
+            bias: vec![0, 0].into(),
             in_frac: 0,
             out_frac: 0,
         };
@@ -753,7 +761,7 @@ mod tests {
         let layer = ShiftConv {
             geom,
             weights: pack(3, 18, &[0.5; 54]),
-            bias: vec![0; 3],
+            bias: vec![0; 3].into(),
             in_frac: 6,
             out_frac: 4,
         };

@@ -99,7 +99,7 @@ proptest! {
         let layer = ShiftConv {
             geom: g,
             weights: PackedPow2Matrix::from_weights(g.out_c, g.col_height(), &weights).unwrap(),
-            bias: bias.clone(),
+            bias: bias.clone().into(),
             in_frac,
             out_frac,
         };
@@ -151,7 +151,7 @@ proptest! {
             in_features,
             out_features,
             weights: PackedPow2Matrix::from_weights(out_features, in_features, &weights).unwrap(),
-            bias: bias.clone(),
+            bias: bias.clone().into(),
             in_frac,
             out_frac,
         };

@@ -28,7 +28,7 @@ proptest! {
             in_features: 16,
             out_features: 1,
             weights: PackedPow2Matrix::from_weights(1, 16, &weights).unwrap(),
-            bias: vec![0],
+            bias: vec![0].into(),
             in_frac: 7,
             out_frac: 3,
         };

@@ -49,7 +49,7 @@ proptest! {
             in_features,
             out_features,
             weights: PackedPow2Matrix::from_weights(out_features, in_features, &weights).unwrap(),
-            bias,
+            bias: bias.into(),
             in_frac,
             out_frac,
         };
@@ -90,7 +90,7 @@ proptest! {
         let layer = ShiftConv {
             geom: g,
             weights: PackedPow2Matrix::from_weights(g.out_c, g.col_height(), &weights).unwrap(),
-            bias,
+            bias: bias.into(),
             in_frac,
             out_frac,
         };
@@ -114,7 +114,7 @@ fn extreme_weight_and_saturation_corners_agree() {
             in_features: 31,
             out_features: 1,
             weights: PackedPow2Matrix::from_weights(1, 31, &weights).unwrap(),
-            bias: vec![0],
+            bias: vec![0].into(),
             in_frac: 7,
             out_frac: 7, // upscale route: saturates for the big codes
         };

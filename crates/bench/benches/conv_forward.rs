@@ -96,7 +96,7 @@ fn bench(c: &mut Criterion) {
         geom: g,
         weights: PackedPow2Matrix::from_f32(g.out_c, g.col_height(), w.as_slice())
             .expect("packed weights"),
-        bias: vec![0; g.out_c],
+        bias: vec![0; g.out_c].into(),
         in_frac: 7,
         out_frac: 5,
     };

@@ -39,17 +39,24 @@ use mfdfp_tensor::{qgemm_into_i8, Tensor, TensorRng};
 
 thread_local! {
     static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Counts this thread's allocator hits, then delegates to [`System`].
-/// `try_with` keeps the allocator safe during TLS teardown.
+/// Counts this thread's allocator hits (and bytes requested), then
+/// delegates to [`System`]. `try_with` keeps the allocator safe during
+/// TLS teardown.
 struct CountingAllocator;
+
+fn count(bytes: usize) {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
 
 // SAFETY: pure pass-through to `System`; the TLS bump performs no
 // allocation itself (`Cell<u64>` is const-initialised, no destructor).
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        count(layout.size());
         System.alloc(layout)
     }
 
@@ -58,12 +65,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        count(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        count(layout.size());
         System.alloc_zeroed(layout)
     }
 }
@@ -79,6 +86,17 @@ fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (after - before, result)
 }
 
+/// Allocator hits *and bytes requested* on the current thread while `f`
+/// runs.
+fn allocation_bytes<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let before = THREAD_ALLOCS.with(Cell::get);
+    let before_bytes = THREAD_BYTES.with(Cell::get);
+    let result = f();
+    let after = THREAD_ALLOCS.with(Cell::get);
+    let after_bytes = THREAD_BYTES.with(Cell::get);
+    (after - before, after_bytes - before_bytes, result)
+}
+
 /// A small calibrated conv net (3×16×16 → 10 classes). Every layer sits
 /// below the parallel kernel's MIN_MACS threshold, so the forward stays
 /// on the calling thread under both feature sets — which is exactly the
@@ -89,6 +107,29 @@ fn quantized_net(seed: u64) -> (QuantizedNet, Tensor) {
     let batch = rng.gaussian([2, 3, 16, 16], 0.0, 0.7);
     let plan = calibrate(&mut net, &[(batch.clone(), vec![0, 1])], 8).unwrap();
     (QuantizedNet::from_network(&net, &plan).unwrap(), batch)
+}
+
+/// A wider calibrated net whose packed payload (tens of KiB) dwarfs the
+/// per-layer struct overhead — the regime where byte-counting cleanly
+/// separates a zero-copy deserialiser from a copying one.
+fn wide_quantized_net(seed: u64) -> QuantizedNet {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(3, 16, [16, 16, 32], 64, 10, &mut rng).unwrap();
+    let batch = rng.gaussian([2, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(batch, vec![0, 1])], 8).unwrap();
+    QuantizedNet::from_network(&net, &plan).unwrap()
+}
+
+/// Packed weight + bias bytes a copying deserialiser would have to clone.
+fn payload_bytes(net: &QuantizedNet) -> u64 {
+    net.layers()
+        .iter()
+        .map(|l| match l {
+            mfdfp_core::QLayer::Conv(c) => (c.weights.as_bytes().len() + 8 * c.bias.len()) as u64,
+            mfdfp_core::QLayer::Linear(l) => (l.weights.as_bytes().len() + 8 * l.bias.len()) as u64,
+            _ => 0,
+        })
+        .sum()
 }
 
 #[test]
@@ -183,6 +224,74 @@ fn warm_serve_dispatch_compute_is_allocation_free() {
         }
     });
     assert_eq!(allocs, 0, "a warmed serve request's compute must not touch the heap");
+}
+
+#[test]
+fn from_image_is_zero_copy_and_o_layers() {
+    // The v2 flat-image contract: `QuantizedNet::from_image` borrows
+    // every weight and bias payload from the image buffer, so building a
+    // servable network costs O(layers) *small* allocations — layer
+    // structs, the name, the adder tree — and crucially cannot allocate
+    // anywhere near the payload size (which a copying deserialiser, like
+    // the v1 `from_bytes`, must).
+    let wide = wide_quantized_net(25);
+    let image = std::sync::Arc::new(mfdfp_core::to_image(&wide));
+    let payload = payload_bytes(&wide);
+    let n_layers = wide.layers().len() as u64;
+
+    let (allocs, bytes, _served_wide) = allocation_bytes(|| {
+        let view = mfdfp_core::ImageView::open(std::sync::Arc::clone(&image)).unwrap();
+        mfdfp_core::QuantizedNet::from_image(&view).unwrap()
+    });
+    assert!(
+        allocs <= 6 * n_layers + 16,
+        "from_image must be O(layers) small allocations ({n_layers} layers), saw {allocs}"
+    );
+    assert!(
+        bytes < payload / 2,
+        "from_image allocated {bytes} bytes against {payload} payload bytes — \
+         weights or biases are being copied"
+    );
+
+    // …and an image-backed network honours the same warmed
+    // zero-allocation forward contract as the owned one (asserted on the
+    // small net, which stays under the parallel kernel's threshold).
+    let (qnet, batch) = quantized_net(25);
+    let view =
+        mfdfp_core::ImageView::open(std::sync::Arc::new(mfdfp_core::to_image(&qnet))).unwrap();
+    let served = mfdfp_core::QuantizedNet::from_image(&view).unwrap();
+    let img = batch.index_axis0(0);
+    let mut ws = served.plan().workspace();
+    served.forward_codes_with(&img, &mut ws).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            let codes = served.forward_codes_with(black_box(&img), &mut ws).unwrap();
+            black_box(codes);
+        }
+    });
+    assert_eq!(allocs, 0, "warmed forward over an image-backed net must not touch the heap");
+}
+
+#[test]
+fn load_zoo_does_not_copy_payloads() {
+    // Registry-level variant of the zero-copy proof: mapping a 3-model
+    // zoo allocates far less than the summed payloads it serves.
+    let nets: Vec<QuantizedNet> = (0..3).map(|i| wide_quantized_net(30 + i)).collect();
+    let mut builder = mfdfp_core::ZooBuilder::new();
+    for (i, net) in nets.iter().enumerate() {
+        builder.push(&format!("m{i}"), net);
+    }
+    let image = std::sync::Arc::new(builder.finish());
+    let payload: u64 = nets.iter().map(payload_bytes).sum();
+
+    let registry = mfdfp_serve::ModelRegistry::new();
+    let (_, bytes, names) = allocation_bytes(|| registry.load_zoo(image).unwrap());
+    assert_eq!(names.len(), 3);
+    assert!(
+        bytes < payload / 2,
+        "load_zoo allocated {bytes} bytes against {payload} payload bytes — \
+         models are being copied out of the zoo image"
+    );
 }
 
 #[test]

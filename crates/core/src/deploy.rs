@@ -6,6 +6,11 @@
 //! nibble-packed power-of-two weight codes, and accumulator-format biases.
 //! Round-tripping is exact — the deserialised network produces identical
 //! activation codes — which is the property the deployment flow needs.
+//!
+//! This is the **v1** stream format, kept for migration: reading decodes
+//! into owned buffers. The **v2** flat format in [`crate::image`] is the
+//! zero-copy successor (aligned sections, `QuantizedNet::from_image`
+//! borrows weights and biases straight out of the buffer).
 
 use mfdfp_accel::qlayers::{ShiftConv, ShiftLinear};
 use mfdfp_dfp::{pack_nibbles, unpack_nibbles, DfpFormat, PackedPow2Matrix};
@@ -36,14 +41,9 @@ pub fn to_bytes(net: &QuantizedNet) -> Vec<u8> {
                 write_conv_geometry(&mut out, &c.geom);
                 out.push(c.in_frac as u8);
                 out.push(c.out_frac as u8);
-                // The image packs nibbles contiguously (no per-row byte
-                // alignment), so unpack the row-aligned matrix first.
-                let weights = c.weights.to_weights();
-                let packed = pack_nibbles(&weights);
-                write_u32(&mut out, weights.len() as u32);
-                out.extend_from_slice(&packed);
+                write_packed_weights(&mut out, &c.weights);
                 write_u32(&mut out, c.bias.len() as u32);
-                for &b in &c.bias {
+                for &b in c.bias.iter() {
                     out.extend_from_slice(&b.to_le_bytes());
                 }
             }
@@ -53,12 +53,9 @@ pub fn to_bytes(net: &QuantizedNet) -> Vec<u8> {
                 write_u32(&mut out, l.out_features as u32);
                 out.push(l.in_frac as u8);
                 out.push(l.out_frac as u8);
-                let weights = l.weights.to_weights();
-                let packed = pack_nibbles(&weights);
-                write_u32(&mut out, weights.len() as u32);
-                out.extend_from_slice(&packed);
+                write_packed_weights(&mut out, &l.weights);
                 write_u32(&mut out, l.bias.len() as u32);
-                for &b in &l.bias {
+                for &b in l.bias.iter() {
                     out.extend_from_slice(&b.to_le_bytes());
                 }
             }
@@ -117,7 +114,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
                 for _ in 0..bcount {
                     bias.push(r.i64()?);
                 }
-                QLayer::Conv(ShiftConv { geom, weights, bias, in_frac, out_frac })
+                QLayer::Conv(ShiftConv { geom, weights, bias: bias.into(), in_frac, out_frac })
             }
             1 => {
                 let in_features = r.u32()? as usize;
@@ -138,7 +135,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
                     in_features,
                     out_features,
                     weights,
-                    bias,
+                    bias: bias.into(),
                     in_frac,
                     out_frac,
                 })
@@ -162,6 +159,31 @@ pub fn from_bytes(bytes: &[u8]) -> Result<QuantizedNet> {
         layers.push(layer);
     }
     QuantizedNet::from_parts(name, input_format, output_format, classes, layers)
+}
+
+/// Writes a matrix as `count` followed by the v1 flat nibble stream (no
+/// per-row padding).
+///
+/// Fast path: with an even column count (or at most one row) the matrix's
+/// own row-aligned buffer *is* the flat stream, so the packed rows are
+/// copied straight from [`PackedPow2Matrix::as_bytes`] /
+/// [`PackedPow2Matrix::row_bytes`] — no `to_weights()` decode, no
+/// `pack_nibbles()` re-encode. Only a multi-row matrix with odd columns
+/// (whose pad nibbles v1 cannot represent) takes the decode path.
+fn write_packed_weights(out: &mut Vec<u8>, m: &PackedPow2Matrix) {
+    write_u32(out, m.count() as u32);
+    if m.cols().is_multiple_of(2) || m.rows() <= 1 {
+        if m.row_stride() == m.row_payload_bytes() {
+            out.extend_from_slice(m.as_bytes());
+        } else {
+            // Aligned (padded) stride: concatenate the row payloads.
+            for r in 0..m.rows() {
+                out.extend_from_slice(m.row_bytes(r));
+            }
+        }
+        return;
+    }
+    out.extend_from_slice(&pack_nibbles(&m.to_weights()));
 }
 
 fn write_u32(out: &mut Vec<u8>, v: u32) {

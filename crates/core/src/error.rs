@@ -23,6 +23,9 @@ pub enum CoreError {
     Unquantizable(String),
     /// Pipeline configuration inconsistency.
     BadConfig(String),
+    /// A malformed, truncated or misaligned deployment image (v2 flat
+    /// format; see `mfdfp_core::image`).
+    BadImage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::Accel(e) => write!(f, "accelerator error: {e}"),
             CoreError::Unquantizable(msg) => write!(f, "cannot quantize: {msg}"),
             CoreError::BadConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            CoreError::BadImage(msg) => write!(f, "invalid deployment image: {msg}"),
         }
     }
 }

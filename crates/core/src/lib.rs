@@ -44,6 +44,7 @@ mod analysis;
 mod deploy;
 mod ensemble;
 mod error;
+pub mod image;
 mod memory;
 mod pipeline;
 mod qnet;
@@ -54,7 +55,9 @@ pub use analysis::{exponent_histogram, quantization_errors, ExponentHistogram, L
 pub use deploy::{from_bytes, to_bytes, MAGIC, VERSION};
 pub use ensemble::Ensemble;
 pub use error::{CoreError, Result};
+pub use image::{to_image, ImageView, ZooBuilder, ZooView, IMAGE_MAGIC, IMAGE_VERSION, ZOO_MAGIC};
 pub use memory::{memory_report, MemoryReport, MIB};
+pub use mfdfp_dfp::AlignedBytes;
 pub use mfdfp_tensor::{Workspace, WorkspacePlan};
 pub use pipeline::{run_pipeline, EpochPoint, PhaseTag, PipelineConfig, PipelineOutcome};
 pub use qnet::{QLayer, QuantizedNet};

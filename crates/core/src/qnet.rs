@@ -29,7 +29,9 @@ use mfdfp_accel::qlayers::{
 };
 use mfdfp_dfp::{realign, AdderTree, DfpFormat, PackedPow2Matrix};
 use mfdfp_nn::{Layer, Network};
-use mfdfp_tensor::{with_thread_workspace, PoolKind, Shape, Tensor, Workspace, WorkspacePlan};
+use mfdfp_tensor::{
+    with_thread_workspace, AlignedVec, PoolKind, Shape, Tensor, Workspace, WorkspacePlan,
+};
 
 use crate::error::{CoreError, Result};
 use crate::quantize::QuantizationPlan;
@@ -110,7 +112,7 @@ impl QuantizedNet {
                             c.weights().as_slice(),
                         )
                         .map_err(CoreError::Dfp)?,
-                        bias: align_biases(c.bias().as_slice(), bias_fmt, current),
+                        bias: align_biases(c.bias().as_slice(), bias_fmt, current).into(),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
                     }));
@@ -130,7 +132,7 @@ impl QuantizedNet {
                             l.weights().as_slice(),
                         )
                         .map_err(CoreError::Dfp)?,
-                        bias: align_biases(l.bias().as_slice(), bias_fmt, current),
+                        bias: align_biases(l.bias().as_slice(), bias_fmt, current).into(),
                         in_frac: current.frac(),
                         out_frac: out_fmt.frac(),
                     }));
@@ -367,8 +369,8 @@ impl QuantizedNet {
         &self,
         image: &[f32],
         ws: &mut Workspace,
-        cur: &mut Vec<i8>,
-        nxt: &mut Vec<i8>,
+        cur: &mut AlignedVec<i8>,
+        nxt: &mut AlignedVec<i8>,
     ) -> Result<usize> {
         cur.resize(image.len(), 0);
         for (c, &x) in cur.iter_mut().zip(image) {

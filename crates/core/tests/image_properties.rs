@@ -1,0 +1,157 @@
+//! Property-based tests of the v2 flat deployment image: the borrowed
+//! (zero-copy) construction path must be observationally identical to the
+//! owned path, v1 streams must migrate losslessly, and arbitrary
+//! corruption, truncation or misalignment must come back as typed
+//! [`CoreError::BadImage`] errors — never a panic, never undefined reads.
+
+use std::sync::Arc;
+
+use mfdfp_core::{
+    calibrate, from_bytes, to_bytes, to_image, CoreError, ImageView, QLayer, QuantizedNet,
+    ZooBuilder,
+};
+use mfdfp_dfp::AlignedBytes;
+use mfdfp_nn::zoo;
+use mfdfp_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// A small calibrated MF-DFP network (3×16×16 input, 10 classes) whose
+/// weights derive from `seed`.
+fn tiny_qnet(seed: u64) -> QuantizedNet {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+    let x = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(x, vec![0, 1, 2, 3])], 8).unwrap();
+    QuantizedNet::from_network(&net, &plan).unwrap()
+}
+
+fn logit_bits(net: &QuantizedNet, img: &Tensor) -> Vec<u32> {
+    net.logits(img).unwrap().as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Decoded weight codes and bias values of every weighted layer — the
+/// ground truth both construction paths must agree on exactly.
+fn layer_payloads(net: &QuantizedNet) -> Vec<(Vec<mfdfp_dfp::Pow2Weight>, Vec<i64>)> {
+    net.layers()
+        .iter()
+        .filter_map(|l| match l {
+            QLayer::Conv(c) => Some((c.weights.to_weights(), c.bias.to_vec())),
+            QLayer::Linear(l) => Some((l.weights.to_weights(), l.bias.to_vec())),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Owned and image-borrowed networks hold identical weight codes and
+    /// biases, and produce bit-identical logits.
+    #[test]
+    fn image_round_trip_is_bit_identical(seed in 0u64..1000) {
+        let owned = tiny_qnet(seed);
+        let view = ImageView::open(Arc::new(to_image(&owned))).unwrap();
+        let borrowed = QuantizedNet::from_image(&view).unwrap();
+
+        prop_assert_eq!(borrowed.name(), owned.name());
+        prop_assert_eq!(borrowed.classes(), owned.classes());
+        prop_assert_eq!(layer_payloads(&borrowed), layer_payloads(&owned));
+
+        let mut rng = TensorRng::seed_from(seed ^ 0xD15EA5E);
+        let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+        prop_assert_eq!(logit_bits(&borrowed, &img), logit_bits(&owned, &img));
+    }
+
+    /// A v1 byte stream migrated through `from_bytes` → `to_image` →
+    /// `from_image` is equivalent to the original network.
+    #[test]
+    fn v1_stream_migrates_losslessly(seed in 0u64..1000) {
+        let owned = tiny_qnet(seed);
+        let v1 = from_bytes(&to_bytes(&owned)).unwrap();
+        let view = ImageView::open(Arc::new(to_image(&v1))).unwrap();
+        let migrated = QuantizedNet::from_image(&view).unwrap();
+
+        prop_assert_eq!(layer_payloads(&migrated), layer_payloads(&owned));
+        let mut rng = TensorRng::seed_from(seed.wrapping_mul(31));
+        let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+        prop_assert_eq!(logit_bits(&migrated, &img), logit_bits(&owned, &img));
+    }
+
+    /// Truncating an image anywhere is always detected as a typed error.
+    #[test]
+    fn truncation_is_always_detected(cut in 0usize..4096) {
+        let image = to_image(&tiny_qnet(42));
+        let cut = cut.min(image.len().saturating_sub(1));
+        let truncated = AlignedBytes::from_slice(&image.as_slice()[..cut]);
+        match ImageView::open(Arc::new(truncated)) {
+            Err(CoreError::BadImage(_)) => {}
+            Err(e) => prop_assert!(false, "wrong error kind: {e}"),
+            Ok(_) => prop_assert!(false, "truncated image at {cut} bytes was accepted"),
+        }
+    }
+
+    /// Flipping any single byte never panics: the reader either rejects
+    /// the image with a typed error or — when the flip lands in payload
+    /// or padding — still builds a servable network whose forward pass
+    /// completes without faulting.
+    #[test]
+    fn corruption_never_panics(pos in 0usize..16384, flip in 1u8..=255) {
+        let image = to_image(&tiny_qnet(7));
+        let pos = pos % image.len();
+        let mut bytes = image.as_slice().to_vec();
+        bytes[pos] ^= flip;
+        match ImageView::open(Arc::new(AlignedBytes::from_slice(&bytes))) {
+            Err(CoreError::BadImage(_)) | Err(CoreError::Dfp(_)) | Err(CoreError::Tensor(_)) => {}
+            Err(e) => prop_assert!(false, "wrong error kind: {e}"),
+            Ok(view) => {
+                // Structurally valid ⇒ must serve without panicking.
+                if let Ok(net) = QuantizedNet::from_image(&view) {
+                    let mut rng = TensorRng::seed_from(9);
+                    let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+                    let _ = net.logits(&img);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn misaligned_zoo_section_is_rejected() {
+    // Hand-build a zoo whose directory points a model at an unaligned
+    // offset: the reader must refuse rather than hand out unaligned views.
+    let image = to_image(&tiny_qnet(3));
+    let mut builder = ZooBuilder::new();
+    builder.push_image("m", image);
+    let zoo = builder.finish();
+    let mut bytes = zoo.as_slice().to_vec();
+    // Directory entry 0 starts at offset 64; model_off lives at +8.
+    let model_off = u64::from_le_bytes(bytes[72..80].try_into().unwrap());
+    bytes[72..80].copy_from_slice(&(model_off + 1).to_le_bytes());
+    let opened = mfdfp_core::ZooView::open(Arc::new(AlignedBytes::from_slice(&bytes)));
+    assert!(matches!(opened, Err(CoreError::BadImage(_))));
+}
+
+#[test]
+fn open_at_rejects_unaligned_base() {
+    let image = to_image(&tiny_qnet(3));
+    let buf = Arc::new(AlignedBytes::from_slice(image.as_slice()));
+    let len = buf.len();
+    assert!(matches!(ImageView::open_at(buf, 32, len - 32), Err(CoreError::BadImage(_))));
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let image = to_image(&tiny_qnet(3));
+    let mut bytes = image.as_slice().to_vec();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        ImageView::open(Arc::new(AlignedBytes::from_slice(&bytes))),
+        Err(CoreError::BadImage(_))
+    ));
+    let mut bytes = image.as_slice().to_vec();
+    bytes[8] = 9; // version
+    assert!(matches!(
+        ImageView::open(Arc::new(AlignedBytes::from_slice(&bytes))),
+        Err(CoreError::BadImage(_))
+    ));
+}

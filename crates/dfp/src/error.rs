@@ -31,6 +31,13 @@ pub enum DfpError {
         /// Element count actually provided.
         actual: usize,
     },
+    /// A byte offset that violates the alignment a typed view requires.
+    Misaligned {
+        /// The offending byte offset.
+        offset: usize,
+        /// The alignment it had to be a multiple of.
+        align: usize,
+    },
 }
 
 impl fmt::Display for DfpError {
@@ -48,6 +55,9 @@ impl fmt::Display for DfpError {
             }
             DfpError::LengthMismatch { expected, actual } => {
                 write!(f, "weight count {actual} does not match geometry ({expected})")
+            }
+            DfpError::Misaligned { offset, align } => {
+                write!(f, "byte offset {offset} is not {align}-byte aligned")
             }
         }
     }

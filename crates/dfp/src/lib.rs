@@ -13,6 +13,9 @@
 //!   paper's Figure 2(a), with per-level overflow audits.
 //! * [`RangeStats`] — Ristretto-style calibration that picks each layer's
 //!   fractional length from observed activation ranges.
+//! * [`aligned`] — the 64-byte-aligned storage cell ([`AlignedBytes`])
+//!   that deployment images and packed weight buffers sit on, modelling
+//!   the paper's DMA-able accelerator weight buffer.
 //!
 //! Everything here is pure integer/float math with no dependencies on the
 //! tensor or network crates, so the same code backs both the software
@@ -49,6 +52,7 @@
 
 #![deny(missing_docs)]
 
+pub mod aligned;
 mod arith;
 mod error;
 mod format;
@@ -56,6 +60,7 @@ mod packed;
 mod pow2;
 mod range;
 
+pub use aligned::{AlignedBytes, I64Section, Pod, ALIGN};
 pub use arith::{
     fits_in_bits, realign, saturate, shift_round, Accumulator, AdderTree, ACCUMULATOR_BITS,
     PRODUCT_BITS, TREE_ROOT_BITS,

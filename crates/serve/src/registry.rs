@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use mfdfp_core::{CoreError, Ensemble, QuantizedNet};
+use mfdfp_core::{AlignedBytes, CoreError, Ensemble, QuantizedNet, ZooView};
 use mfdfp_tensor::{Tensor, Workspace, WorkspacePlan};
 
 use crate::error::{Result, ServeError};
@@ -138,6 +138,47 @@ impl ModelRegistry {
             .get(name)
             .cloned()
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Maps a multi-model zoo image (see `mfdfp_core::image`) into the
+    /// registry: every model in the zoo's directory is opened zero-copy —
+    /// weight and bias payloads stay in the zoo buffer, `Arc`-shared by
+    /// all registered models — and registered under its directory name.
+    /// No nibble is unpacked and no payload byte is copied.
+    ///
+    /// Returns the registered names, in directory order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Inference`] wrapping
+    /// [`CoreError::BadImage`](mfdfp_core::CoreError::BadImage) if the
+    /// zoo or any model section is malformed; nothing is registered in
+    /// that case (all-or-nothing).
+    pub fn load_zoo(&self, image: Arc<AlignedBytes>) -> Result<Vec<String>> {
+        let zoo = ZooView::open(image).map_err(ServeError::Inference)?;
+        let mut loaded = Vec::with_capacity(zoo.len());
+        for i in 0..zoo.len() {
+            let view = zoo.model(i).map_err(ServeError::Inference)?;
+            let net = QuantizedNet::from_image(&view).map_err(ServeError::Inference)?;
+            loaded.push((zoo.name(i).to_string(), net));
+        }
+        let mut names = Vec::with_capacity(loaded.len());
+        for (name, net) in loaded {
+            self.register(&name, net);
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// Convenience for [`ModelRegistry::load_zoo`] over raw bytes (e.g.
+    /// read from disk): copies them **once** into a fresh 64-byte-aligned
+    /// buffer, then serves all models zero-copy out of that single copy.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::load_zoo`].
+    pub fn load_zoo_bytes(&self, bytes: &[u8]) -> Result<Vec<String>> {
+        self.load_zoo(Arc::new(AlignedBytes::from_slice(bytes)))
     }
 
     /// Removes a model; in-flight requests that already resolved it keep

@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 mod error;
 mod init;
 pub mod ops;
@@ -45,6 +46,7 @@ mod shape;
 mod tensor;
 pub mod workspace;
 
+pub use arena::{AlignedArena, AlignedBytes, AlignedVec};
 pub use error::{Result, TensorError};
 pub use init::TensorRng;
 #[cfg(feature = "parallel")]

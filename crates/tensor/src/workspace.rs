@@ -6,7 +6,8 @@
 //! of that property. A [`Workspace`] owns every scratch buffer a quantized
 //! forward pass needs — the `i8` im2col staging area, the inter-layer
 //! activation ping-pong pair, and an `f32` lane for logit averaging — as
-//! **grow-only** `Vec`s: the first pass through a model grows each buffer
+//! **grow-only** 64-byte-aligned [`AlignedVec`]
+//! lanes: the first pass through a model grows each buffer
 //! to its peak size (or [`WorkspacePlan`] pre-sizes them in one shot), and
 //! every subsequent pass reuses the same capacity, so a warmed workspace
 //! makes the whole forward path allocation-free at steady state.
@@ -29,6 +30,8 @@
 //! uncontended, and invisible to the caller.
 
 use std::cell::RefCell;
+
+use crate::arena::AlignedVec;
 
 /// Peak scratch-buffer sizes for one model, as computed from its layer
 /// geometry (e.g. by `QuantizedNet::plan()` in `mfdfp-core`). Feeding a
@@ -92,12 +95,12 @@ impl WorkspacePlan {
 pub struct Workspace {
     /// Inter-layer activation ping-pong pair (taken/restored around a
     /// forward pass so the layers can borrow the workspace meanwhile).
-    act: [Vec<i8>; 2],
+    act: [AlignedVec<i8>; 2],
     /// im2col column staging: 8-bit activation codes in the `k × ncols`
     /// layout the packed kernel streams.
-    im2col: Vec<i8>,
+    im2col: AlignedVec<i8>,
     /// `f32` staging (ensemble member logits).
-    f32buf: Vec<f32>,
+    f32buf: AlignedVec<f32>,
 }
 
 impl Workspace {
@@ -118,10 +121,10 @@ impl Workspace {
     /// Grows any buffer still below `plan`'s peaks (never shrinks).
     pub fn reserve(&mut self, plan: &WorkspacePlan) {
         for act in &mut self.act {
-            reserve_to(act, plan.act_len, 0i8);
+            act.reserve(plan.act_len);
         }
-        reserve_to(&mut self.im2col, plan.im2col_len, 0i8);
-        reserve_to(&mut self.f32buf, plan.f32_len, 0.0f32);
+        self.im2col.reserve(plan.im2col_len);
+        self.f32buf.reserve(plan.f32_len);
     }
 
     /// Whether every buffer already has at least `plan`'s capacity — i.e.
@@ -135,8 +138,8 @@ impl Workspace {
 
     /// The im2col staging buffer, resized to exactly `len` elements
     /// (stale contents are overwritten by the gather, not cleared here;
-    /// `Vec::resize` never sheds capacity, so a warmed buffer just gets
-    /// a length bump).
+    /// [`AlignedVec::resize`](crate::arena::AlignedVec::resize) never
+    /// sheds capacity, so a warmed buffer just gets a length bump).
     pub fn im2col_i8(&mut self, len: usize) -> &mut [i8] {
         self.im2col.resize(len, 0);
         &mut self.im2col[..len]
@@ -145,14 +148,14 @@ impl Workspace {
     /// Moves the activation ping-pong pair out of the workspace so a
     /// forward pass can write activations while the layers borrow the
     /// workspace for other scratch. Pair with [`Workspace::restore_act`].
-    pub fn take_act(&mut self) -> (Vec<i8>, Vec<i8>) {
+    pub fn take_act(&mut self) -> (AlignedVec<i8>, AlignedVec<i8>) {
         let [a, b] = std::mem::take(&mut self.act);
         (a, b)
     }
 
     /// Returns the activation pair after a forward pass. `front` must be
     /// the buffer holding the final codes: [`Workspace::codes`] reads it.
-    pub fn restore_act(&mut self, front: Vec<i8>, back: Vec<i8>) {
+    pub fn restore_act(&mut self, front: AlignedVec<i8>, back: AlignedVec<i8>) {
         self.act = [front, back];
     }
 
@@ -169,24 +172,13 @@ impl Workspace {
 
     /// Moves the `f32` scratch buffer out (see [`Workspace::take_act`]
     /// for the pattern). Pair with [`Workspace::restore_f32`].
-    pub fn take_f32(&mut self) -> Vec<f32> {
+    pub fn take_f32(&mut self) -> AlignedVec<f32> {
         std::mem::take(&mut self.f32buf)
     }
 
     /// Returns the `f32` scratch buffer.
-    pub fn restore_f32(&mut self, buf: Vec<f32>) {
+    pub fn restore_f32(&mut self, buf: AlignedVec<f32>) {
         self.f32buf = buf;
-    }
-}
-
-/// Grow `v` so its *capacity* covers `len` without touching its length —
-/// plan-time reservation.
-fn reserve_to<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) {
-    if v.len() < len {
-        let cur = v.len();
-        v.resize(len, fill);
-        v.truncate(cur);
-        // `truncate` keeps capacity; the buffer is now warm for `len`.
     }
 }
 
@@ -194,7 +186,8 @@ thread_local! {
     /// One workspace per OS thread (see [`with_thread_workspace`]).
     static THREAD_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
     /// One accumulator lane pair per OS thread (see [`with_acc_lanes`]).
-    static ACC_LANES: RefCell<(Vec<i64>, Vec<i32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    static ACC_LANES: RefCell<(AlignedVec<i64>, AlignedVec<i32>)> =
+        const { RefCell::new((AlignedVec::new(), AlignedVec::new())) };
 }
 
 /// Runs `f` with the calling thread's persistent [`Workspace`].
@@ -288,7 +281,7 @@ mod tests {
         buf.push(1.5);
         ws.restore_f32(buf);
         let again = ws.take_f32();
-        assert_eq!(again, vec![1.5]);
+        assert_eq!(&again[..], &[1.5]);
         ws.restore_f32(again);
     }
 
