@@ -48,7 +48,7 @@ mod schedule;
 
 pub use components::{AreaPower, ComponentLibrary};
 pub use design::{design_metrics, AcceleratorConfig, BreakdownLine, DesignMetrics, Precision};
-pub use energy::RunReport;
+pub use energy::{OpCostModel, OpEnergyEstimate, RunReport};
 pub use error::{AccelError, Result};
 pub use qlayers::{
     avg_pool_codes, avg_pool_codes_into, max_pool_codes, max_pool_codes_into, pool_out_dims,

@@ -116,7 +116,13 @@ impl ShiftConv {
         // `i32` layout.
         let xt = ws.im2col_i8(syn * npix);
         for grp in 0..g.groups {
-            gather_group_columns(input, g, grp, xt);
+            {
+                let _span = mfdfp_obs::span!("conv.im2col", (syn * npix) as u64);
+                gather_group_columns(input, g, grp, xt);
+            }
+            // One fetch_add per group: the gather staged `syn·npix` i8
+            // bytes for this group's column matrix.
+            mfdfp_obs::ops::record_im2col_bytes((syn * npix) as u64);
             let row0 = grp * group_out;
             qgemm_into_i8(
                 &self.weights,
@@ -157,6 +163,9 @@ impl ShiftConv {
     pub fn run_reference(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
         let g = &self.geom;
         self.validate(input.len())?;
+        // Telemetry: these output rows take the decode fallback, not the
+        // packed kernel (one fetch_add per layer call).
+        mfdfp_obs::ops::record_decode_rows(g.out_c as u64);
         let weights = self.weights.to_weights();
         let (oh, ow) = (g.out_h(), g.out_w());
         let k = g.kernel;
@@ -345,6 +354,8 @@ impl ShiftLinear {
     /// propagates overflow audits from the adder tree.
     pub fn run_reference(&self, input: &[i8], tree: &AdderTree) -> Result<Vec<i8>> {
         self.validate(input.len())?;
+        // Telemetry: decode-fallback rows, as in ShiftConv.
+        mfdfp_obs::ops::record_decode_rows(self.out_features as u64);
         let weights = self.weights.to_weights();
         let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
         let xs: Vec<i32> = input.iter().map(|&c| c as i32).collect();

@@ -9,8 +9,15 @@
 //! requests, which is the effect this harness exists to measure.
 //!
 //! ```text
-//! cargo run -p mfdfp-bench --bin serve_load --release [--features parallel]
+//! cargo run -p mfdfp-bench --bin serve_load --release [--features "parallel obs"] \
+//!     [-- --trace trace.json]
 //! ```
+//!
+//! With `--trace <path>` (and the `obs` feature), the flight recorder's
+//! rings are drained after the run into a Chrome trace-event file —
+//! load it at <https://ui.perfetto.dev> to see every pipeline stage and
+//! kernel dispatch on a timeline. Without `obs` the file is written but
+//! contains no events.
 //!
 //! Environment knobs:
 //!
@@ -43,7 +50,19 @@ fn exact_percentile(sorted_us: &[u64], q: f64) -> f64 {
     sorted_us[rank - 1] as f64
 }
 
+/// Parses `--trace <path>` from the command line (the only flag).
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace = trace_path();
     let producers = env_usize("MFDFP_SERVE_PRODUCERS", 4);
     let requests = env_usize("MFDFP_SERVE_REQUESTS", 64);
     let config = ServeConfig {
@@ -139,6 +158,28 @@ fn main() {
     println!("batch histogram    {:?} (size 1..)", snap.batch_histogram);
     println!("largest batch      {:>10}", snap.max_batch_observed());
     println!("rejected (retried) {:>10}", snap.rejected);
+    // Where the latency went: admission→dispatch wait vs compute vs
+    // response delivery (server-side stage histograms, bucketed means).
+    println!(
+        "stage queue_wait   {:>10.1} µs mean ({} samples)",
+        snap.stages.queue_wait.mean_us, snap.stages.queue_wait.count
+    );
+    println!(
+        "stage infer        {:>10.1} µs mean ({} batches)",
+        snap.stages.infer.mean_us, snap.stages.infer.count
+    );
+    println!(
+        "stage respond      {:>10.1} µs mean ({} batches)",
+        snap.stages.respond.mean_us, snap.stages.respond.count
+    );
+    println!(
+        "ops                {} shift-MACs, {} im2col bytes",
+        snap.ops.shift_macs, snap.ops.im2col_bytes
+    );
+    println!(
+        "energy estimate    {:>10.1} µJ ({:.1}% saved vs fp32 MACs)",
+        snap.energy.total_uj, snap.energy.saving_pct
+    );
 
     if producers > 1 && snap.max_batch_observed() < 2 {
         eprintln!("warning: no batch >1 formed under concurrent producers");
@@ -146,7 +187,12 @@ fn main() {
 
     if let Ok(path) = std::env::var("SERVE_BENCH_OUT") {
         let hist: Vec<String> = snap.batch_histogram.iter().map(u64::to_string).collect();
-        let features: &str = if cfg!(feature = "parallel") { "[\"parallel\"]" } else { "[]" };
+        let features: &str = match (cfg!(feature = "parallel"), cfg!(feature = "obs")) {
+            (true, true) => "[\"parallel\",\"obs\"]",
+            (true, false) => "[\"parallel\"]",
+            (false, true) => "[\"obs\"]",
+            (false, false) => "[]",
+        };
         let json = format!(
             concat!(
                 "{{\"bench\":\"serve_load\",\"features\":{},",
@@ -154,7 +200,9 @@ fn main() {
                 "\"workers\":{},\"max_batch\":{},\"max_wait_us\":{},",
                 "\"wall_s\":{:.3},\"throughput_rps\":{:.1},",
                 "\"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
-                "\"batch_histogram\":[{}],\"largest_batch\":{},\"rejected\":{}}}\n"
+                "\"batch_histogram\":[{}],\"largest_batch\":{},\"rejected\":{},",
+                "\"stage_mean_us\":{{\"queue_wait\":{:.1},\"infer\":{:.1},\"respond\":{:.1}}},",
+                "\"shift_macs\":{},\"energy_total_uj\":{:.3}}}\n"
             ),
             features,
             producers,
@@ -171,10 +219,23 @@ fn main() {
             hist.join(","),
             snap.max_batch_observed(),
             snap.rejected,
+            snap.stages.queue_wait.mean_us,
+            snap.stages.infer.mean_us,
+            snap.stages.respond.mean_us,
+            snap.ops.shift_macs,
+            snap.energy.total_uj,
         );
         std::fs::write(&path, json).expect("write SERVE_BENCH_OUT");
         println!("wrote {path}");
     }
 
+    // Shut down before draining the flight recorder so the workers' final
+    // spans are published before the dump.
     Arc::try_unwrap(server).ok().expect("all producers joined").shutdown();
+
+    if let Some(path) = trace {
+        let events = mfdfp_obs::dump();
+        std::fs::write(&path, mfdfp_obs::chrome_trace_json(&events)).expect("write trace");
+        println!("wrote {path} ({} events; load at https://ui.perfetto.dev)", events.len());
+    }
 }

@@ -294,6 +294,28 @@ fn load_zoo_does_not_copy_payloads() {
     );
 }
 
+/// The flight recorder's hot-path contract: once a thread's ring is
+/// registered (the one-time warm-up allocation), recording spans and op
+/// counts is strictly allocation-free — so leaving `obs` compiled into a
+/// production serve build cannot perturb the zero-allocation inference
+/// contract it observes.
+#[cfg(feature = "obs")]
+#[test]
+fn warm_spans_and_counters_allocate_nothing() {
+    // Warm-up: the first event on a thread registers its ring.
+    drop(mfdfp_obs::span!("alloc.warmup", 1));
+    let (allocs, ()) = allocations(|| {
+        for i in 0..256u64 {
+            let _span = mfdfp_obs::span!("alloc.probe", i);
+            mfdfp_obs::ops::record_shift_macs(1024);
+            mfdfp_obs::ops::record_im2col_bytes(64);
+            let t = mfdfp_obs::now_ns();
+            mfdfp_obs::record_complete("alloc.manual", i, t, t + 1);
+        }
+    });
+    assert_eq!(allocs, 0, "warm span/counter recording must not touch the heap");
+}
+
 #[test]
 fn planned_workspace_first_pass_allocates_only_thread_lanes() {
     // The plan() claim: with a pre-sized workspace, the only first-pass

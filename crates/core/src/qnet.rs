@@ -376,19 +376,24 @@ impl QuantizedNet {
         for (c, &x) in cur.iter_mut().zip(image) {
             *c = self.input_format.quantize(x) as i8;
         }
-        for layer in &self.layers {
+        for (idx, layer) in self.layers.iter().enumerate() {
+            // Flight-recorder: one span per layer, label = layer kind,
+            // arg = layer index (a no-op without the `obs` feature).
             match layer {
                 QLayer::Conv(c) => {
+                    let _span = mfdfp_obs::span!("qnet.conv", idx as u64);
                     nxt.resize(c.out_len(), 0);
                     c.run_into(cur, ws, nxt).map_err(CoreError::Accel)?;
                     std::mem::swap(cur, nxt);
                 }
                 QLayer::Linear(l) => {
+                    let _span = mfdfp_obs::span!("qnet.linear", idx as u64);
                     nxt.resize(l.out_features, 0);
                     l.run_into(cur, nxt).map_err(CoreError::Accel)?;
                     std::mem::swap(cur, nxt);
                 }
                 QLayer::Pool { kind, channels, in_h, in_w, window, stride } => {
+                    let _span = mfdfp_obs::span!("qnet.pool", idx as u64);
                     let (oh, ow) =
                         pool_out_dims(*in_h, *in_w, *window, *stride).map_err(CoreError::Accel)?;
                     nxt.resize(channels * oh * ow, 0);
@@ -403,7 +408,10 @@ impl QuantizedNet {
                     .map_err(CoreError::Accel)?;
                     std::mem::swap(cur, nxt);
                 }
-                QLayer::Relu => relu_codes(cur),
+                QLayer::Relu => {
+                    let _span = mfdfp_obs::span!("qnet.relu", idx as u64);
+                    relu_codes(cur);
+                }
             }
         }
         Ok(cur.len())

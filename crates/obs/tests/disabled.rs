@@ -1,0 +1,34 @@
+//! The no-op contract of disabled builds: without the `enabled` feature
+//! the span guard is zero-sized, the macro never evaluates its argument,
+//! the clock reads 0 and the dump stays empty — instrumented crates can
+//! call the API unconditionally at zero cost.
+
+#![cfg(not(feature = "enabled"))]
+
+use mfdfp_obs::{dump, now_ns, record_complete, ring_capacity, span, Span};
+
+#[test]
+fn span_is_zero_sized_and_dump_stays_empty() {
+    assert_eq!(std::mem::size_of::<Span>(), 0, "disabled Span must be a ZST");
+    {
+        let _span = span!("off.scoped", 9);
+        let _also = Span::enter("off.direct", 1);
+    }
+    record_complete("off.complete", 2, 0, 10);
+    assert!(dump().is_empty(), "disabled recorder must never retain events");
+    assert_eq!(ring_capacity(), 0);
+    assert_eq!(now_ns(), 0);
+}
+
+#[test]
+fn span_macro_never_evaluates_its_argument() {
+    fn side_effect(hits: &mut u64) -> u64 {
+        *hits += 1;
+        0
+    }
+    let mut hits = 0u64;
+    {
+        let _span = span!("off.lazy", side_effect(&mut hits));
+    }
+    assert_eq!(hits, 0, "disabled span! must not evaluate its argument");
+}

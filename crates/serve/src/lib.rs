@@ -24,8 +24,15 @@
 //!    and the compute footprint is bounded by
 //!    `workers + pool width − 1` threads (see README "Threading model").
 //! 3. **Telemetry** — [`ServerMetrics`] tracks throughput, latency
-//!    percentiles, queue depth, the batch-size histogram and the shared
-//!    pool's counters; [`MetricsSnapshot::to_json`] exports it.
+//!    percentiles, queue depth, the batch-size histogram, a per-stage
+//!    breakdown (queue-wait / inference / response send), a per-model
+//!    registry of the same series, the process-wide datapath op counters
+//!    with their energy estimate, and the shared pool's counters;
+//!    [`MetricsSnapshot::to_json`] exports it all under a schema that is
+//!    stable across feature sets. With the `obs` feature the pipeline
+//!    stages also emit flight-recorder spans (`serve.submit`,
+//!    `serve.batch_form`, `serve.queue_wait`, `serve.infer`,
+//!    `serve.respond`) exportable as a Chrome/Perfetto trace.
 //!
 //! Batching changes *when* images are evaluated, never *what* they
 //! evaluate to: responses are byte-identical to direct `logits` calls
@@ -58,7 +65,9 @@ mod server;
 
 pub use config::ServeConfig;
 pub use error::{Result, ServeError};
-pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use metrics::{
+    MetricsSnapshot, ModelMetrics, ModelSnapshot, ServerMetrics, StageSnapshot, StagesSnapshot,
+};
 pub use queue::{BoundedQueue, PushRejection};
 pub use registry::{ModelRegistry, ServedModel};
 pub use server::{Response, Server, Ticket};

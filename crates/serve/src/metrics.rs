@@ -1,4 +1,5 @@
 //! Serving telemetry: counters, latency percentiles, batch-size histogram,
+//! per-stage breakdowns, per-model series, op-count/energy metering and
 //! shared-pool counters.
 //!
 //! All hot-path recording is lock-free (`AtomicU64` with relaxed
@@ -8,32 +9,101 @@
 //! which is exact enough for operational monitoring (the load-generator
 //! bench records exact per-request latencies separately).
 //!
+//! Beyond the global request counters, a snapshot carries:
+//!
+//! * **stages** — queue-wait / inference / response-send histograms, so a
+//!   p99 can be attributed to waiting vs computing vs answering;
+//! * **models** — a per-model registry keyed like [`ModelRegistry`]
+//!   (name → submitted/completed/failed/latency buckets/batch histogram),
+//!   created lazily at first admission; the map is read-locked once per
+//!   submit and never touched again on the hot path (workers hold `Arc`s);
+//! * **ops** / **energy_estimate** — the process-wide datapath op
+//!   counters ([`mfdfp_obs::ops`]: shift-MACs, im2col bytes,
+//!   decode-fallback rows, tripped overflow audits) priced by
+//!   [`mfdfp_accel::OpCostModel`]. Monotonic since process start, like
+//!   the pool counters; all-zero without the `obs` feature. The JSON
+//!   schema is identical across feature sets.
+//!
 //! Each snapshot also samples the process-wide `mfdfp-rt` pool the tensor
 //! kernels and batch dispatch share ([`mfdfp_rt::global_stats`] — reading
 //! never instantiates the pool, so a metrics poll has no side effects):
 //! `pool_threads` is the pool width (0 until any hot path engages it),
 //! and `pool_tasks_run`/`pool_steals`/`pool_idle_parks` are monotonic
 //! since process start, like the request counters are since server start.
+//!
+//! [`ModelRegistry`]: crate::ModelRegistry
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
+
+use mfdfp_accel::{OpCostModel, OpEnergyEstimate};
+use mfdfp_obs::OpCounters;
 
 /// Number of log2 latency buckets: bucket `i` covers `[2^i, 2^{i+1})` µs
 /// (bucket 0 also absorbs sub-microsecond latencies), so the top bucket
 /// starts at `2^39` µs ≈ 6.4 days — effectively unbounded.
 const LATENCY_BUCKETS: usize = 40;
 
+/// A lock-free log2-µs duration histogram with sum and count — the
+/// recording half of every latency/stage series in this module.
+struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        let idx = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load_buckets(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn snapshot(&self) -> StageSnapshot {
+        let buckets = self.load_buckets();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        StageSnapshot {
+            count,
+            mean_us: if count == 0 { 0.0 } else { sum_us as f64 / count as f64 },
+            p50_us: percentile_upper_bound(&buckets, 0.50),
+            p95_us: percentile_upper_bound(&buckets, 0.95),
+            p99_us: percentile_upper_bound(&buckets, 0.99),
+        }
+    }
+}
+
 /// Live metrics shared between the server, its workers and observers.
 pub struct ServerMetrics {
     started: Instant,
+    max_batch: usize,
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
-    latency_sum_us: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    latency: Histogram,
     /// Index `i` counts dispatched batches of size `i + 1`.
     batch_buckets: Vec<AtomicU64>,
+    queue_wait: Histogram,
+    infer: Histogram,
+    respond: Histogram,
+    models: RwLock<HashMap<String, Arc<ModelMetrics>>>,
 }
 
 impl ServerMetrics {
@@ -42,14 +112,35 @@ impl ServerMetrics {
     pub fn new(max_batch: usize) -> Self {
         ServerMetrics {
             started: Instant::now(),
+            max_batch: max_batch.max(1),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
-            latency_sum_us: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: Histogram::new(),
             batch_buckets: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            queue_wait: Histogram::new(),
+            infer: Histogram::new(),
+            respond: Histogram::new(),
+            models: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The per-model series for `name`, created on first use. One
+    /// read-lock per call (plus a write-lock the first time a name is
+    /// seen) — the server resolves this once at admission and carries
+    /// the `Arc` with the request, so workers never touch the map.
+    pub fn model(&self, name: &str) -> Arc<ModelMetrics> {
+        if let Some(m) = self.models.read().expect("metrics poisoned").get(name) {
+            return Arc::clone(m);
+        }
+        Arc::clone(
+            self.models
+                .write()
+                .expect("metrics poisoned")
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(ModelMetrics::new(self.max_batch))),
+        )
     }
 
     /// Records an accepted submission.
@@ -72,10 +163,7 @@ impl ServerMetrics {
     /// (queue wait + inference).
     pub fn record_completed(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        let idx = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
     }
 
     /// Records a request that failed inside the datapath.
@@ -83,24 +171,54 @@ impl ServerMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request's admission→dispatch wait (stage breakdown).
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    /// Records one batch's inference time (stage breakdown).
+    pub fn record_infer(&self, time: Duration) {
+        self.infer.record(time);
+    }
+
+    /// Records one batch's response materialisation/send time (stage
+    /// breakdown).
+    pub fn record_respond(&self, time: Duration) {
+        self.respond.record(time);
+    }
+
     /// Takes a consistent-enough point-in-time view (counters are read
     /// individually; relaxed skew of a few requests is acceptable for
     /// monitoring). `queue_depth` is sampled by the caller, which owns the
     /// queue.
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
-        let buckets: Vec<u64> =
-            self.latency_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let buckets = self.latency.load_buckets();
         let completed = self.completed.load(Ordering::Relaxed);
-        let sum_us = self.latency_sum_us.load(Ordering::Relaxed);
+        let sum_us = self.latency.sum_us.load(Ordering::Relaxed);
         let mut batch_histogram: Vec<u64> =
             self.batch_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         while batch_histogram.last() == Some(&0) && batch_histogram.len() > 1 {
             batch_histogram.pop();
         }
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        // One clock sample for both `uptime` and the throughput
+        // denominator — two `elapsed()` calls can disagree within a
+        // snapshot and make the reported rate irreproducible from the
+        // reported uptime.
+        let uptime = self.started.elapsed();
+        let elapsed = uptime.as_secs_f64().max(1e-9);
+        let mut models: Vec<ModelSnapshot> = self
+            .models
+            .read()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(name, m)| m.snapshot(name.clone()))
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        let ops = mfdfp_obs::ops::counters();
+        let energy = OpCostModel::calibrated_65nm().estimate(&ops);
         let pool = mfdfp_rt::global_stats();
         MetricsSnapshot {
-            uptime: self.started.elapsed(),
+            uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             completed,
@@ -112,10 +230,85 @@ impl ServerMetrics {
             p95_latency_us: percentile_upper_bound(&buckets, 0.95),
             p99_latency_us: percentile_upper_bound(&buckets, 0.99),
             batch_histogram,
+            stages: StagesSnapshot {
+                queue_wait: self.queue_wait.snapshot(),
+                infer: self.infer.snapshot(),
+                respond: self.respond.snapshot(),
+            },
+            models,
+            ops,
+            energy,
             pool_threads: pool.threads,
             pool_tasks_run: pool.tasks_run,
             pool_steals: pool.steals,
             pool_idle_parks: pool.idle_parks,
+        }
+    }
+}
+
+/// Per-model request/latency series, handed to workers as an `Arc` at
+/// admission (keyed by model name in [`ServerMetrics::model`], mirroring
+/// the [`ModelRegistry`](crate::ModelRegistry) keying).
+pub struct ModelMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latency: Histogram,
+    batch_buckets: Vec<AtomicU64>,
+}
+
+impl ModelMetrics {
+    fn new(max_batch: usize) -> Self {
+        ModelMetrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency: Histogram::new(),
+            batch_buckets: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records an accepted submission for this model.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched batch of `size` requests for this model.
+    pub fn record_batch(&self, size: usize) {
+        let idx = size.clamp(1, self.batch_buckets.len()) - 1;
+        self.batch_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed request and its end-to-end latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Records a datapath failure attributed to this model.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: String) -> ModelSnapshot {
+        let buckets = self.latency.load_buckets();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let sum_us = self.latency.sum_us.load(Ordering::Relaxed);
+        let mut batch_histogram: Vec<u64> =
+            self.batch_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        while batch_histogram.last() == Some(&0) && batch_histogram.len() > 1 {
+            batch_histogram.pop();
+        }
+        ModelSnapshot {
+            name,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            mean_latency_us: if completed == 0 { 0.0 } else { sum_us as f64 / completed as f64 },
+            p50_latency_us: percentile_upper_bound(&buckets, 0.50),
+            p95_latency_us: percentile_upper_bound(&buckets, 0.95),
+            p99_latency_us: percentile_upper_bound(&buckets, 0.99),
+            batch_histogram,
         }
     }
 }
@@ -138,10 +331,66 @@ fn percentile_upper_bound(buckets: &[u64], q: f64) -> f64 {
     2f64.powi(buckets.len() as i32)
 }
 
+/// Percentile view of one histogram series (a pipeline stage, or a
+/// model's latency): count, mean and bucket-upper-bound percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean duration in microseconds.
+    pub mean_us: f64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_us: f64,
+    /// 95th percentile (bucket upper bound), microseconds.
+    pub p95_us: f64,
+    /// 99th percentile (bucket upper bound), microseconds.
+    pub p99_us: f64,
+}
+
+/// The pipeline-stage breakdown of a snapshot: where a request's
+/// end-to-end latency goes. `queue_wait` is per request
+/// (admission → dispatch); `infer` and `respond` are per dispatched
+/// batch (so their counts track batches, not requests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagesSnapshot {
+    /// Admission→dispatch wait, per request.
+    pub queue_wait: StageSnapshot,
+    /// Batched-inference time, per dispatched batch.
+    pub infer: StageSnapshot,
+    /// Response materialisation/send time, per dispatched batch.
+    pub respond: StageSnapshot,
+}
+
+/// One model's slice of a snapshot (sorted by name in
+/// [`MetricsSnapshot::models`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Registry name the model serves under.
+    pub name: String,
+    /// Requests accepted into the queue for this model.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that failed in the datapath.
+    pub failed: u64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_latency_us: f64,
+    /// 95th-percentile latency (bucket upper bound), microseconds.
+    pub p95_latency_us: f64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_latency_us: f64,
+    /// `batch_histogram[i]` = dispatched batches of size `i+1` for this
+    /// model (trailing zero sizes trimmed).
+    pub batch_histogram: Vec<u64>,
+}
+
 /// A point-in-time metrics view, exportable as JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Time since the metrics (server) were created.
+    /// Time since the metrics (server) were created. The reported
+    /// `throughput_rps` uses this exact sample as its denominator.
     pub uptime: Duration,
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -166,6 +415,17 @@ pub struct MetricsSnapshot {
     /// `batch_histogram[i]` = number of dispatched batches of size `i+1`
     /// (trailing zero sizes trimmed).
     pub batch_histogram: Vec<u64>,
+    /// Queue-wait / inference / response-send breakdown.
+    pub stages: StagesSnapshot,
+    /// Per-model series, sorted by model name. A model appears once its
+    /// first request passes admission validation.
+    pub models: Vec<ModelSnapshot>,
+    /// Process-wide datapath op counters (monotonic since process
+    /// start; all-zero without the `obs` feature).
+    pub ops: OpCounters,
+    /// [`ops`](Self::ops) priced by the calibrated 65 nm
+    /// [`OpCostModel`] — the live shift-add-vs-multiply energy story.
+    pub energy: OpEnergyEstimate,
     /// Width of the shared `mfdfp-rt` pool (workers + helping caller);
     /// `0` until any hot path engages the pool — on a default
     /// (non-`parallel`) build it stays 0 forever.
@@ -180,6 +440,28 @@ pub struct MetricsSnapshot {
     pub pool_idle_parks: u64,
 }
 
+/// Minimal JSON string escaping for model names (labels under the
+/// caller's control, but the exporter stays correct for any name).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn stage_json(s: &StageSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}",
+        s.count, s.mean_us, s.p50_us, s.p95_us, s.p99_us
+    )
+}
+
 impl MetricsSnapshot {
     /// Largest batch size that was actually dispatched (0 before any
     /// dispatch).
@@ -189,13 +471,47 @@ impl MetricsSnapshot {
 
     /// Serialises the snapshot as a self-contained JSON object (the
     /// vendored `serde` shim does not serialise, so this is hand-rolled —
-    /// stable key order, no trailing separators). The `pool` sub-object
-    /// carries the shared runtime-pool counters; its fields are always
-    /// present (zeros when the pool was never engaged) so the schema is
-    /// identical across feature sets — see README "Metrics & capacity
-    /// tuning" for the field semantics.
+    /// stable key order, no trailing separators). Schema, stable across
+    /// feature sets (see README "Metrics & capacity tuning" and
+    /// "Flight-recorder tracing" for field semantics):
+    ///
+    /// * the global counters and `latency_us`/`batch_histogram`, as
+    ///   before;
+    /// * `stages` — `queue_wait`/`infer`/`respond`, each
+    ///   `{count, mean, p50, p95, p99}` (µs);
+    /// * `models` — name-keyed object, one entry per served model with
+    ///   its own counters, `latency_us` and `batch_histogram`;
+    /// * `ops` — process-wide datapath op counters (zeros without the
+    ///   `obs` feature);
+    /// * `energy_estimate` — `ops` priced in µJ by the calibrated
+    ///   per-op cost model, with the FP32 baseline and saving;
+    /// * `pool` — shared runtime-pool counters, always present (zeros
+    ///   when the pool was never engaged).
     pub fn to_json(&self) -> String {
         let hist: Vec<String> = self.batch_histogram.iter().map(u64::to_string).collect();
+        let models: Vec<String> = self
+            .models
+            .iter()
+            .map(|m| {
+                let mh: Vec<String> = m.batch_histogram.iter().map(u64::to_string).collect();
+                format!(
+                    concat!(
+                        "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                        "\"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},",
+                        "\"p99\":{:.1}}},\"batch_histogram\":[{}]}}"
+                    ),
+                    json_escape(&m.name),
+                    m.submitted,
+                    m.completed,
+                    m.failed,
+                    m.mean_latency_us,
+                    m.p50_latency_us,
+                    m.p95_latency_us,
+                    m.p99_latency_us,
+                    mh.join(","),
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"uptime_s\":{:.3},\"submitted\":{},\"rejected\":{},",
@@ -203,6 +519,13 @@ impl MetricsSnapshot {
                 "\"throughput_rps\":{:.2},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
                 "\"batch_histogram\":[{}],",
+                "\"stages\":{{\"queue_wait\":{},\"infer\":{},\"respond\":{}}},",
+                "\"models\":{{{}}},",
+                "\"ops\":{{\"shift_macs\":{},\"im2col_bytes\":{},",
+                "\"decode_rows\":{},\"overflow_audits\":{}}},",
+                "\"energy_estimate\":{{\"mac_uj\":{:.3},\"sram_uj\":{:.3},",
+                "\"total_uj\":{:.3},\"fp32_baseline_uj\":{:.3},",
+                "\"saving_pct\":{:.2}}},",
                 "\"pool\":{{\"threads\":{},\"tasks_run\":{},",
                 "\"steals\":{},\"idle_parks\":{}}}}}"
             ),
@@ -218,6 +541,19 @@ impl MetricsSnapshot {
             self.p95_latency_us,
             self.p99_latency_us,
             hist.join(","),
+            stage_json(&self.stages.queue_wait),
+            stage_json(&self.stages.infer),
+            stage_json(&self.stages.respond),
+            models.join(","),
+            self.ops.shift_macs,
+            self.ops.im2col_bytes,
+            self.ops.decode_rows,
+            self.ops.overflow_audits,
+            self.energy.mac_uj,
+            self.energy.sram_uj,
+            self.energy.total_uj,
+            self.energy.fp32_baseline_uj,
+            self.energy.saving_pct,
             self.pool_threads,
             self.pool_tasks_run,
             self.pool_steals,
@@ -280,6 +616,62 @@ mod tests {
         assert_eq!(s.mean_latency_us, 0.0);
         assert_eq!(s.max_batch_observed(), 0);
         assert_eq!(s.batch_histogram, vec![0]);
+        assert!(s.models.is_empty());
+        assert_eq!(s.stages.queue_wait.count, 0);
+        assert_eq!(s.stages.infer.count, 0);
+        assert_eq!(s.stages.respond.count, 0);
+    }
+
+    #[test]
+    fn uptime_and_throughput_share_one_clock_sample() {
+        let m = ServerMetrics::new(1);
+        for _ in 0..1000 {
+            m.record_completed(Duration::from_micros(10));
+        }
+        let s = m.snapshot(0);
+        // The reported rate must be exactly reproducible from the
+        // reported uptime — the two fields come from one clock sample.
+        let expected = s.completed as f64 / s.uptime.as_secs_f64().max(1e-9);
+        assert_eq!(s.throughput_rps, expected);
+    }
+
+    #[test]
+    fn stage_histograms_record_independently() {
+        let m = ServerMetrics::new(4);
+        m.record_queue_wait(Duration::from_micros(100));
+        m.record_queue_wait(Duration::from_micros(100));
+        m.record_infer(Duration::from_micros(700));
+        m.record_respond(Duration::from_micros(3));
+        let s = m.snapshot(0);
+        assert_eq!(s.stages.queue_wait.count, 2);
+        assert_eq!(s.stages.infer.count, 1);
+        assert_eq!(s.stages.respond.count, 1);
+        assert!((s.stages.queue_wait.mean_us - 100.0).abs() < 1e-9);
+        assert_eq!(s.stages.infer.p50_us, 1024.0); // bucket [512, 1024)
+        assert!(s.stages.respond.p99_us <= 4.0);
+    }
+
+    #[test]
+    fn per_model_series_accumulate_and_sort() {
+        let m = ServerMetrics::new(4);
+        let b = m.model("beta");
+        let a = m.model("alpha");
+        assert!(Arc::ptr_eq(&a, &m.model("alpha")), "same name, same series");
+        a.record_submitted();
+        a.record_batch(2);
+        a.record_completed(Duration::from_micros(64));
+        b.record_submitted();
+        b.record_failed();
+        let s = m.snapshot(0);
+        assert_eq!(s.models.len(), 2);
+        assert_eq!(s.models[0].name, "alpha");
+        assert_eq!(s.models[1].name, "beta");
+        assert_eq!((s.models[0].submitted, s.models[0].completed), (1, 1));
+        assert_eq!(s.models[0].batch_histogram, vec![0, 1]);
+        assert!(s.models[0].mean_latency_us > 0.0);
+        assert_eq!((s.models[1].submitted, s.models[1].failed), (1, 1));
+        // Per-model series are independent of the global counters.
+        assert_eq!(s.completed, 0);
     }
 
     #[test]
@@ -288,6 +680,8 @@ mod tests {
         m.record_submitted();
         m.record_batch(2);
         m.record_completed(Duration::from_micros(50));
+        m.record_queue_wait(Duration::from_micros(20));
+        m.model("tiny").record_completed(Duration::from_micros(50));
         let json = m.snapshot(1).to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
@@ -295,6 +689,14 @@ mod tests {
             "\"queue_depth\":1",
             "\"batch_histogram\":[0,1]",
             "\"p95\":",
+            "\"stages\":{\"queue_wait\":{\"count\":1",
+            "\"infer\":{\"count\":0",
+            "\"respond\":{\"count\":0",
+            "\"models\":{\"tiny\":{\"submitted\":0",
+            "\"ops\":{\"shift_macs\":",
+            "\"overflow_audits\":",
+            "\"energy_estimate\":{\"mac_uj\":",
+            "\"saving_pct\":",
             "\"pool\":{\"threads\":",
             "\"tasks_run\":",
             "\"idle_parks\":",
@@ -305,6 +707,29 @@ mod tests {
         // JSON parser in the dependency-free workspace).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_model_names() {
+        let m = ServerMetrics::new(1);
+        m.model("we\"ird\\name");
+        let json = m.snapshot(0).to_json();
+        assert!(json.contains("\"we\\\"ird\\\\name\":{"), "{json}");
+    }
+
+    #[test]
+    fn ops_and_energy_respect_the_feature_gate() {
+        let s = ServerMetrics::new(1).snapshot(0);
+        #[cfg(not(feature = "obs"))]
+        {
+            assert_eq!(s.ops, mfdfp_obs::OpCounters::default());
+            assert_eq!(s.energy.total_uj, 0.0);
+            assert_eq!(s.energy.saving_pct, 0.0);
+        }
+        // With `obs` on, the counters are process-global and other tests
+        // in this binary run real inference; only coherence is portable.
+        assert!(s.energy.fp32_baseline_uj >= s.energy.total_uj);
+        assert!((s.energy.total_uj - (s.energy.mac_uj + s.energy.sram_uj)).abs() < 1e-9);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mfdfp_tensor::{Tensor, Workspace};
 
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
-use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::metrics::{MetricsSnapshot, ModelMetrics, ServerMetrics};
 use crate::queue::{BoundedQueue, PushRejection};
 use crate::registry::{ModelRegistry, ServedModel};
 
@@ -50,12 +50,18 @@ impl Ticket {
 }
 
 /// One queued unit of work. The model is resolved at admission so workers
-/// skip the registry and removal cannot strand in-flight requests.
+/// skip the registry and removal cannot strand in-flight requests; the
+/// per-model metrics series rides along the same way, so workers never
+/// touch the name-keyed metrics map either.
 struct Request {
     model_name: String,
     model: ServedModel,
+    metrics_model: Arc<ModelMetrics>,
     image: Tensor,
     submitted: Instant,
+    /// Flight-recorder timestamp of admission (0 without `obs`), so the
+    /// exported trace can show each request's queue-wait span.
+    submitted_ns: u64,
     tx: mpsc::Sender<Result<Response>>,
 }
 
@@ -144,6 +150,7 @@ impl Server {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket> {
+        let _span = mfdfp_obs::span!("serve.submit", image.len() as u64);
         let resolved = self.registry.get(model)?;
         if let Some(expected) = resolved.input_len() {
             if image.len() != expected {
@@ -154,17 +161,21 @@ impl Server {
                 });
             }
         }
+        let metrics_model = self.metrics.model(model);
         let (tx, rx) = mpsc::channel();
         let request = Request {
             model_name: model.to_string(),
             model: resolved,
+            metrics_model: Arc::clone(&metrics_model),
             image,
             submitted: Instant::now(),
+            submitted_ns: mfdfp_obs::now_ns(),
             tx,
         };
         match self.queue.try_push(request) {
             Ok(()) => {
                 self.metrics.record_submitted();
+                metrics_model.record_submitted();
                 Ok(Ticket { rx })
             }
             Err((_, PushRejection::Full)) => {
@@ -227,7 +238,19 @@ impl Drop for Server {
 /// model" for sizing guidance). Without the feature, groups run inline
 /// and the pool is never engaged.
 fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
-    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+    loop {
+        // Batch formation spans the blocking pop + linger window, so the
+        // trace shows how long each worker spent coalescing vs idle.
+        let formed_from = mfdfp_obs::now_ns();
+        let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) else {
+            break;
+        };
+        mfdfp_obs::record_complete(
+            "serve.batch_form",
+            batch.len() as u64,
+            formed_from,
+            mfdfp_obs::now_ns(),
+        );
         let groups = partition_by_model(batch);
         run_groups(groups, metrics);
     }
@@ -313,7 +336,21 @@ fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
 /// buffers ([`WorkerScratch`] + the thread workspace), so a warmed
 /// worker's steady-state compute performs zero heap allocations.
 fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
+    let dispatched = Instant::now();
+    let dispatched_ns = mfdfp_obs::now_ns();
     metrics.record_batch(group.len());
+    group[0].metrics_model.record_batch(group.len());
+    for request in &group {
+        // `duration_since` saturates to zero, so a clock read that lands
+        // between two threads' samples can never panic the worker.
+        metrics.record_queue_wait(dispatched.duration_since(request.submitted));
+        mfdfp_obs::record_complete(
+            "serve.queue_wait",
+            group.len() as u64,
+            request.submitted_ns,
+            dispatched_ns,
+        );
+    }
     let model = group[0].model.clone();
     let batch_size = group.len();
     let classes = model.classes();
@@ -323,33 +360,39 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
             scratch.data.extend_from_slice(request.image.as_slice());
         }
         scratch.logits.resize(batch_size * classes, 0.0);
-        let inference = model.logits_batch_into(
-            &scratch.data,
-            batch_size,
-            &mut scratch.ws,
-            &mut scratch.logits,
-        );
+        let infer_started = Instant::now();
+        let inference = {
+            let _span = mfdfp_obs::span!("serve.infer", batch_size as u64);
+            model.logits_batch_into(&scratch.data, batch_size, &mut scratch.ws, &mut scratch.logits)
+        };
+        metrics.record_infer(infer_started.elapsed());
         match inference {
             Ok(()) => {
+                let respond_started = Instant::now();
+                let _span = mfdfp_obs::span!("serve.respond", batch_size as u64);
                 for (row, request) in scratch.logits.chunks(classes).zip(group) {
+                    let latency = request.submitted.elapsed();
+                    request.metrics_model.record_completed(latency);
                     let logits = Tensor::from_slice(row);
                     let response = Response {
                         model: request.model_name,
                         class: logits.argmax(),
                         logits,
                         batch_size,
-                        latency: request.submitted.elapsed(),
+                        latency,
                     };
                     metrics.record_completed(response.latency);
                     // A dropped Ticket is not an error; the work is done.
                     let _ = request.tx.send(Ok(response));
                 }
+                metrics.record_respond(respond_started.elapsed());
             }
             Err(e) => {
                 let err = ServeError::Inference(e);
                 for request in group {
                     let _ = request.tx.send(Err(err.clone()));
                     metrics.record_failed();
+                    request.metrics_model.record_failed();
                 }
             }
         }

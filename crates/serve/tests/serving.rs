@@ -338,3 +338,82 @@ fn snapshot_surfaces_pool_stats() {
     }
     server.shutdown();
 }
+
+/// The snapshot must attribute traffic per model and per pipeline stage,
+/// and carry the op-count/energy sub-objects — with the same JSON schema
+/// whether or not the `obs` feature is compiled in.
+#[test]
+fn snapshot_breaks_down_stages_models_ops_and_energy() {
+    let a = tiny_qnet(61);
+    let b = tiny_qnet(62);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("alpha", a);
+    registry.register("beta", b);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig { workers: 1, queue_capacity: 32, ..Default::default() },
+    )
+    .unwrap();
+    let imgs = images(6, 23);
+    for (i, img) in imgs.iter().enumerate() {
+        let name = if i % 3 == 0 { "beta" } else { "alpha" };
+        server.submit(name, img.clone()).unwrap().wait().unwrap();
+    }
+    // The last response is delivered (unblocking `wait`) a hair before the
+    // worker records its respond-stage sample; poll the snapshot until the
+    // worker catches up.
+    let snap = std::iter::repeat_with(|| {
+        std::thread::sleep(Duration::from_millis(1));
+        server.metrics()
+    })
+    .take(2000)
+    .find(|s| s.stages.respond.count == 6)
+    .expect("worker never recorded the final respond stage");
+
+    // Per-model attribution: registry-keyed, sorted by name, counts adding
+    // up to the global view.
+    assert_eq!(snap.models.len(), 2);
+    assert_eq!(snap.models[0].name, "alpha");
+    assert_eq!(snap.models[1].name, "beta");
+    assert_eq!((snap.models[0].submitted, snap.models[0].completed), (4, 4));
+    assert_eq!((snap.models[1].submitted, snap.models[1].completed), (2, 2));
+    assert_eq!(snap.models[0].completed + snap.models[1].completed, snap.completed);
+    assert!(snap.models[0].mean_latency_us > 0.0);
+    assert_eq!(snap.models[0].batch_histogram[0], 4, "closed loop ⇒ singleton batches");
+
+    // Stage breakdown: one queue-wait per request, one infer/respond per
+    // dispatched batch (closed loop ⇒ 6 singleton batches).
+    assert_eq!(snap.stages.queue_wait.count, 6);
+    assert_eq!(snap.stages.infer.count, 6);
+    assert_eq!(snap.stages.respond.count, 6);
+    assert!(snap.stages.infer.mean_us > 0.0);
+    assert!(snap.stages.infer.p99_us >= snap.stages.infer.p50_us);
+
+    // Op counters and their energy estimate: real shift-MAC work with
+    // `obs` on, exact zeros (but identical schema) with it off.
+    #[cfg(feature = "obs")]
+    {
+        assert!(snap.ops.shift_macs > 0, "served inference must count shift-MACs");
+        assert!(snap.ops.im2col_bytes > 0, "conv layers must count staged bytes");
+        assert!(snap.energy.total_uj > 0.0);
+        assert!(snap.energy.saving_pct > 50.0, "{}", snap.energy.saving_pct);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        assert_eq!(snap.ops.shift_macs, 0);
+        assert_eq!(snap.energy.total_uj, 0.0);
+    }
+    assert!(snap.energy.fp32_baseline_uj >= snap.energy.total_uj);
+
+    let json = snap.to_json();
+    for key in [
+        "\"stages\":{\"queue_wait\":{\"count\":6",
+        "\"models\":{\"alpha\":{\"submitted\":4",
+        "\"beta\":{\"submitted\":2",
+        "\"ops\":{\"shift_macs\":",
+        "\"energy_estimate\":{\"mac_uj\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    server.shutdown();
+}

@@ -210,6 +210,7 @@ const fn build_sign_table() -> [i32; 16] {
 fn audit_operands(xt: &[i32]) -> Result<()> {
     for &x in xt {
         if !fits_in_bits(x as i64, X_BITS) {
+            mfdfp_obs::ops::record_overflow_audit();
             return Err(TensorError::QuantizedOverflow { value: x as i64, bits: X_BITS });
         }
     }
@@ -281,6 +282,9 @@ fn qgemm_band<T: QgemmAct>(
     out: &mut [i8],
 ) -> Result<()> {
     let k = w.cols();
+    // Op-count telemetry, amortized: one fetch_add per band call (the
+    // parallel dispatcher calls once per row chunk), never per MAC.
+    mfdfp_obs::ops::record_shift_macs((rows * k * ncols) as u64);
     with_acc_lanes(ncols, |acc64, acc32| {
         for r in 0..rows {
             let wrow = w.row_bytes(band0 + r);
@@ -302,6 +306,7 @@ fn qgemm_band<T: QgemmAct>(
             let orow = &mut out[r * ncols..(r + 1) * ncols];
             for (o, &acc) in orow.iter_mut().zip(acc64.iter()) {
                 if !fits_in_bits(acc, ACCUMULATOR_BITS) {
+                    mfdfp_obs::ops::record_overflow_audit();
                     return Err(TensorError::QuantizedOverflow {
                         value: acc,
                         bits: ACCUMULATOR_BITS,
@@ -389,6 +394,11 @@ pub fn qgemm_into_i8(
 /// Shared serial/parallel dispatch: bands whose work crosses the `par`
 /// module threshold fan output rows across the persistent pool; audits
 /// and shape checks have already run.
+///
+/// The dispatch decision is traced (`obs` feature): one span per call,
+/// labelled `qgemm.parallel` or `qgemm.serial` by the path chosen, with
+/// the band's MAC count as the argument — the flight-recorder view of
+/// *which* kernel variant served each layer.
 #[allow(clippy::too_many_arguments)] // private kernel: slices + full index frame
 fn dispatch_band<T: QgemmAct>(
     w: &PackedPow2Matrix,
@@ -401,13 +411,16 @@ fn dispatch_band<T: QgemmAct>(
     out_frac: i32,
     out: &mut [i8],
 ) -> Result<()> {
+    let macs = rows * w.cols() * ncols;
     #[cfg(feature = "parallel")]
     if rows >= 2
         && rows * w.cols().max(1) * ncols.max(1) >= crate::par::MIN_MACS
         && crate::par::threads() >= 2
     {
+        let _span = mfdfp_obs::span!("qgemm.parallel", macs as u64);
         return qgemm_band_parallel(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out);
     }
+    let _span = mfdfp_obs::span!("qgemm.serial", macs as u64);
     qgemm_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
 }
 

@@ -19,6 +19,9 @@
 //! * [`rt`] — the persistent work-sharing thread-pool runtime the tensor
 //!   kernels and the serving dispatch share (lazy global pool, scoped
 //!   fork-join, pool stats).
+//! * [`obs`] — flight-recorder observability: per-thread span rings,
+//!   datapath op counters and a Chrome/Perfetto trace exporter; compiles
+//!   to a no-op unless the `obs` feature is enabled.
 //!
 //! See `README.md` for the quickstart, `ARCHITECTURE.md` for the crate
 //! map, and `PAPER_MAP.md` for the paper-section → code mapping.
@@ -28,6 +31,7 @@ pub use mfdfp_core as core;
 pub use mfdfp_data as data;
 pub use mfdfp_dfp as dfp;
 pub use mfdfp_nn as nn;
+pub use mfdfp_obs as obs;
 pub use mfdfp_rt as rt;
 pub use mfdfp_serve as serve;
 pub use mfdfp_tensor as tensor;
