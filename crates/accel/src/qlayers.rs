@@ -42,7 +42,10 @@
 //! `qgemm` module docs.)
 
 use mfdfp_dfp::{Accumulator, AdderTree, I64Section, PackedPow2Matrix, Pow2Weight};
-use mfdfp_tensor::{qgemm_into_i8, with_thread_workspace, ConvGeometry, Workspace};
+use mfdfp_tensor::{
+    im2col_batched_i8, qgemm_fused_into_i8, qgemm_into_i8, with_thread_workspace, ConvGeometry,
+    Workspace,
+};
 
 use crate::error::{AccelError, Result};
 
@@ -134,6 +137,87 @@ impl ShiftConv {
                 acc_frac,
                 self.out_frac as i32,
                 &mut out[row0 * npix..(row0 + group_out) * npix],
+            )
+            .map_err(AccelError::Tensor)?;
+        }
+        Ok(())
+    }
+
+    /// The batch-fused entry: executes the layer on `batch` images at
+    /// once — **one** im2col gather and **one** packed shift-MAC pass per
+    /// channel group for the whole batch, instead of `batch` of each.
+    ///
+    /// `input` and `out` use the element-interleaved fused layout
+    /// ([`mfdfp_tensor::im2col_batched_i8`]): element `e` (usual `C×H×W`
+    /// order) of image `b` lives at index `e · batch + b`. The fused
+    /// GEMM's output columns come out in exactly that order, so layers
+    /// chain with no re-staging, and `batch = 1` is byte-for-byte the
+    /// per-image layout.
+    ///
+    /// Bit-identical to `batch` calls of [`ShiftConv::run_into`] — the
+    /// kernel's per-output accumulation order does not depend on the
+    /// column count (see [`mfdfp_tensor::qgemm_fused_into_i8`]) — while
+    /// the row-banded parallel threshold now sees the whole layer-batch
+    /// product, splitting per-layer instead of per-image work. The
+    /// workspace must be planned with the batch dimension
+    /// (`WorkspacePlan::for_batch`): staging needs
+    /// `im2col_len() × batch` `i8` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadConfig`] for a zero batch,
+    /// [`AccelError::BadInput`] if `input`/`out` are not `batch`
+    /// interleaved images/outputs, and propagates the kernel's overflow
+    /// audits as [`AccelError::Tensor`].
+    pub fn run_batch_into(
+        &self,
+        input: &[i8],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [i8],
+    ) -> Result<()> {
+        if batch == 0 {
+            return Err(AccelError::BadConfig("conv batch must be positive".into()));
+        }
+        let g = &self.geom;
+        let expect = g.in_c * g.in_h * g.in_w;
+        // Weight/bias shape checks are shared with the per-image path.
+        self.validate(expect)?;
+        if input.len() != expect * batch {
+            return Err(AccelError::BadInput { expected: expect * batch, actual: input.len() });
+        }
+        if out.len() != self.out_len() * batch {
+            return Err(AccelError::BadInput {
+                expected: self.out_len() * batch,
+                actual: out.len(),
+            });
+        }
+        let npix = g.out_h() * g.out_w();
+        let syn = g.col_height();
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        let group_out = g.out_c / g.groups;
+        // One fused column matrix per group: `syn × (npix · batch)`.
+        let xt = ws.im2col_i8(syn * npix * batch);
+        for grp in 0..g.groups {
+            {
+                let _span = mfdfp_obs::span!("conv.im2col_batched", (syn * npix * batch) as u64);
+                im2col_batched_i8(input, g, grp, batch, xt).map_err(AccelError::Tensor)?;
+            }
+            // Telemetry stays exact under fusion: `syn·npix·batch` bytes
+            // staged here equals the sum of the per-image gathers.
+            mfdfp_obs::ops::record_im2col_bytes((syn * npix * batch) as u64);
+            let row0 = grp * group_out;
+            qgemm_fused_into_i8(
+                &self.weights,
+                row0,
+                group_out,
+                xt,
+                npix,
+                batch,
+                &self.bias[row0..row0 + group_out],
+                acc_frac,
+                self.out_frac as i32,
+                &mut out[row0 * npix * batch..(row0 + group_out) * npix * batch],
             )
             .map_err(AccelError::Tensor)?;
         }
@@ -345,6 +429,54 @@ impl ShiftLinear {
         .map_err(AccelError::Tensor)
     }
 
+    /// The batch-fused entry: one packed shift-MAC pass over `batch`
+    /// activation vectors at once. In the element-interleaved fused
+    /// layout the input buffer (`in_features × batch`, feature-major)
+    /// **is** the `k × batch` im2col column matrix, so — as with the
+    /// per-image path — this stages nothing at all; the whole batch is
+    /// one kernel call whose rows are `batch` columns wide. Bit-identical
+    /// to `batch` calls of [`ShiftLinear::run_into`] (see
+    /// [`mfdfp_tensor::qgemm_fused_into_i8`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadConfig`] for a zero batch,
+    /// [`AccelError::BadInput`] on length mismatches, and propagates the
+    /// kernel's overflow audits as [`AccelError::Tensor`].
+    pub fn run_batch_into(&self, input: &[i8], batch: usize, out: &mut [i8]) -> Result<()> {
+        if batch == 0 {
+            return Err(AccelError::BadConfig("linear batch must be positive".into()));
+        }
+        // Weight/bias shape checks are shared with the per-image path.
+        self.validate(self.in_features)?;
+        if input.len() != self.in_features * batch {
+            return Err(AccelError::BadInput {
+                expected: self.in_features * batch,
+                actual: input.len(),
+            });
+        }
+        if out.len() != self.out_features * batch {
+            return Err(AccelError::BadInput {
+                expected: self.out_features * batch,
+                actual: out.len(),
+            });
+        }
+        let acc_frac = self.in_frac as i32 + PRODUCT_FRAC_SHIFT;
+        qgemm_fused_into_i8(
+            &self.weights,
+            0,
+            self.out_features,
+            input,
+            1,
+            batch,
+            &self.bias,
+            acc_frac,
+            self.out_frac as i32,
+            out,
+        )
+        .map_err(AccelError::Tensor)
+    }
+
     /// Executes the layer through the decode-based Figure 2(a) datapath
     /// (see [`ShiftConv::run_reference`]).
     ///
@@ -547,6 +679,53 @@ pub fn avg_pool_codes_into(
     pool_codes_into(input, channels, in_h, in_w, window, stride, false, out)
 }
 
+/// [`max_pool_codes_into`] over a fused batch in the element-interleaved
+/// layout (element `e` of image `b` at `e · batch + b`, as produced by
+/// the batched conv path): each window is reduced independently per
+/// image, so the result is bit-identical to `batch` per-image pooling
+/// calls, de-interleaved.
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadConfig`] for a zero batch (or zero
+/// window/stride) and [`AccelError::BadInput`] on length mismatches.
+#[allow(clippy::too_many_arguments)] // pooling frame + batch dimension
+pub fn max_pool_codes_batch_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    batch: usize,
+    out: &mut [i8],
+) -> Result<()> {
+    pool_codes_batch_into(input, channels, in_h, in_w, window, stride, true, batch, out)
+}
+
+/// [`avg_pool_codes_into`] over a fused batch in the element-interleaved
+/// layout — see [`max_pool_codes_batch_into`] for the layout and
+/// bit-identity contract (the round-half-away division runs per image,
+/// exactly as in the per-image path).
+///
+/// # Errors
+///
+/// Returns [`AccelError::BadConfig`] for a zero batch (or zero
+/// window/stride) and [`AccelError::BadInput`] on length mismatches.
+#[allow(clippy::too_many_arguments)] // pooling frame + batch dimension
+pub fn avg_pool_codes_batch_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    batch: usize,
+    out: &mut [i8],
+) -> Result<()> {
+    pool_codes_batch_into(input, channels, in_h, in_w, window, stride, false, batch, out)
+}
+
 #[allow(clippy::too_many_arguments)] // private pooling frame + mode flag
 fn pool_codes_alloc(
     input: &[i8],
@@ -574,14 +753,43 @@ fn pool_codes_into(
     is_max: bool,
     out: &mut [i8],
 ) -> Result<()> {
-    let expect = channels * in_h * in_w;
+    // `batch = 1` is exactly the per-image layout and loop.
+    pool_codes_batch_into(input, channels, in_h, in_w, window, stride, is_max, 1, out)
+}
+
+/// The pooling workhorse, generalized over the fused batch dimension:
+/// input element `(c, iy, ix)` of image `b` lives at
+/// `((c·in_h + iy)·in_w + ix)·batch + b` and the output uses the same
+/// interleave. Each image's window reduction runs in the identical
+/// per-element order as the single-image loop, so `batch = 1` (every
+/// historical caller) is unchanged and larger batches are bit-identical
+/// to de-interleaved per-image calls.
+#[allow(clippy::too_many_arguments)] // private pooling frame + mode flag + batch
+fn pool_codes_batch_into(
+    input: &[i8],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    stride: usize,
+    is_max: bool,
+    batch: usize,
+    out: &mut [i8],
+) -> Result<()> {
+    if batch == 0 {
+        return Err(AccelError::BadConfig("pool batch must be positive".into()));
+    }
+    let expect = channels * in_h * in_w * batch;
     if input.len() != expect {
         return Err(AccelError::BadInput { expected: expect, actual: input.len() });
     }
     // Ceil-mode output size, matching the float framework.
     let (oh, ow) = pool_out_dims(in_h, in_w, window, stride)?;
-    if out.len() != channels * oh * ow {
-        return Err(AccelError::BadInput { expected: channels * oh * ow, actual: out.len() });
+    if out.len() != channels * oh * ow * batch {
+        return Err(AccelError::BadInput {
+            expected: channels * oh * ow * batch,
+            actual: out.len(),
+        });
     }
     for c in 0..channels {
         for oy in 0..oh {
@@ -590,28 +798,32 @@ fn pool_codes_into(
                 let x0 = ox * stride;
                 let y1 = (y0 + window).min(in_h);
                 let x1 = (x0 + window).min(in_w);
-                let v = if is_max {
-                    let mut best = i8::MIN;
-                    for iy in y0..y1 {
-                        for ix in x0..x1 {
-                            best = best.max(input[(c * in_h + iy) * in_w + ix]);
+                let obase = ((c * oh + oy) * ow + ox) * batch;
+                for b in 0..batch {
+                    let v = if is_max {
+                        let mut best = i8::MIN;
+                        for iy in y0..y1 {
+                            for ix in x0..x1 {
+                                best = best.max(input[((c * in_h + iy) * in_w + ix) * batch + b]);
+                            }
                         }
-                    }
-                    best
-                } else {
-                    let mut sum = 0i32;
-                    let count = ((y1 - y0) * (x1 - x0)) as i32;
-                    for iy in y0..y1 {
-                        for ix in x0..x1 {
-                            sum += input[(c * in_h + iy) * in_w + ix] as i32;
+                        best
+                    } else {
+                        let mut sum = 0i32;
+                        let count = ((y1 - y0) * (x1 - x0)) as i32;
+                        for iy in y0..y1 {
+                            for ix in x0..x1 {
+                                sum += input[((c * in_h + iy) * in_w + ix) * batch + b] as i32;
+                            }
                         }
-                    }
-                    // Round half away from zero.
-                    let half = count / 2;
-                    let q = if sum >= 0 { (sum + half) / count } else { -((-sum + half) / count) };
-                    q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
-                };
-                out[(c * oh + oy) * ow + ox] = v;
+                        // Round half away from zero.
+                        let half = count / 2;
+                        let q =
+                            if sum >= 0 { (sum + half) / count } else { -((-sum + half) / count) };
+                        q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+                    };
+                    out[obase + b] = v;
+                }
             }
         }
     }
@@ -795,6 +1007,143 @@ mod tests {
         lin.run_into(&[1, 2, 3, 4], &mut lout).unwrap();
         assert_eq!(lout, lexpect);
         assert!(lin.run_into(&[1, 2, 3, 4], &mut lout[..1]).is_err());
+    }
+
+    /// Interleaves per-image buffers into the fused layout
+    /// (`fused[e·B + b] = images[b][e]`).
+    fn interleave(images: &[Vec<i8>]) -> Vec<i8> {
+        let batch = images.len();
+        let per = images[0].len();
+        let mut fused = vec![0i8; per * batch];
+        for (b, img) in images.iter().enumerate() {
+            for (e, &v) in img.iter().enumerate() {
+                fused[e * batch + b] = v;
+            }
+        }
+        fused
+    }
+
+    /// Splits a fused buffer back into per-image vectors.
+    fn deinterleave(fused: &[i8], batch: usize) -> Vec<Vec<i8>> {
+        let per = fused.len() / batch;
+        (0..batch).map(|b| (0..per).map(|e| fused[e * batch + b]).collect()).collect()
+    }
+
+    fn images(per: usize, batch: usize, seed: i32) -> Vec<Vec<i8>> {
+        (0..batch)
+            .map(|b| {
+                (0..per)
+                    .map(|e| ((e as i32 * 17 + b as i32 * 41 + seed) % 251 - 120) as i8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_conv_matches_per_image_runs() {
+        let geom = ConvGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: pack(3, 18, &(0..54).map(|i| [0.5, -0.25, 1.0][i % 3]).collect::<Vec<_>>()),
+            bias: vec![0, 1 << 10, -(1 << 10)].into(),
+            in_frac: 6,
+            out_frac: 4,
+        };
+        for batch in [1usize, 2, 3, 5] {
+            let imgs = images(2 * 5 * 5, batch, 7);
+            let mut ws = Workspace::new();
+            let mut fused = vec![0i8; layer.out_len() * batch];
+            layer.run_batch_into(&interleave(&imgs), batch, &mut ws, &mut fused).unwrap();
+            let per: Vec<Vec<i8>> = imgs.iter().map(|img| layer.run(img).unwrap()).collect();
+            assert_eq!(deinterleave(&fused, batch), per, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batched_grouped_conv_matches_per_image_runs() {
+        let geom = ConvGeometry::new(4, 4, 4, 4, 3, 1, 1).unwrap().with_groups(2).unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: pack(4, 18, &(0..72).map(|i| [1.0, -0.5, 0.25][i % 3]).collect::<Vec<_>>()),
+            bias: vec![0; 4].into(),
+            in_frac: 5,
+            out_frac: 4,
+        };
+        let batch = 3;
+        let imgs = images(4 * 4 * 4, batch, 13);
+        let mut ws = Workspace::new();
+        let mut fused = vec![0i8; layer.out_len() * batch];
+        layer.run_batch_into(&interleave(&imgs), batch, &mut ws, &mut fused).unwrap();
+        let per: Vec<Vec<i8>> = imgs.iter().map(|img| layer.run(img).unwrap()).collect();
+        assert_eq!(deinterleave(&fused, batch), per);
+    }
+
+    #[test]
+    fn batched_linear_matches_per_image_runs() {
+        let lin = dummy_linear(6, 3);
+        for batch in [1usize, 2, 4, 7] {
+            let imgs = images(6, batch, 3);
+            let mut fused_out = vec![0i8; 3 * batch];
+            lin.run_batch_into(&interleave(&imgs), batch, &mut fused_out).unwrap();
+            let per: Vec<Vec<i8>> = imgs.iter().map(|img| lin.run(img).unwrap()).collect();
+            assert_eq!(deinterleave(&fused_out, batch), per, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batched_pools_match_per_image_pools() {
+        for batch in [1usize, 2, 3] {
+            let imgs = images(2 * 5 * 5, batch, 29);
+            let fused = interleave(&imgs);
+            for (window, stride) in [(2usize, 2usize), (3, 2)] {
+                let (oh, ow) = pool_out_dims(5, 5, window, stride).unwrap();
+                let mut out = vec![0i8; 2 * oh * ow * batch];
+                max_pool_codes_batch_into(&fused, 2, 5, 5, window, stride, batch, &mut out)
+                    .unwrap();
+                let per: Vec<Vec<i8>> = imgs
+                    .iter()
+                    .map(|img| max_pool_codes(img, 2, 5, 5, window, stride).unwrap())
+                    .collect();
+                assert_eq!(deinterleave(&out, batch), per, "max {window}/{stride} B={batch}");
+                avg_pool_codes_batch_into(&fused, 2, 5, 5, window, stride, batch, &mut out)
+                    .unwrap();
+                let per: Vec<Vec<i8>> = imgs
+                    .iter()
+                    .map(|img| avg_pool_codes(img, 2, 5, 5, window, stride).unwrap())
+                    .collect();
+                assert_eq!(deinterleave(&out, batch), per, "avg {window}/{stride} B={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_entries_validate_batch_and_lengths() {
+        let geom = ConvGeometry::new(1, 3, 3, 1, 2, 1, 0).unwrap();
+        let layer = ShiftConv {
+            geom,
+            weights: pack(1, 4, &[0.5; 4]),
+            bias: vec![0].into(),
+            in_frac: 6,
+            out_frac: 5,
+        };
+        let mut ws = Workspace::new();
+        let mut out = vec![0i8; layer.out_len() * 2];
+        assert!(layer.run_batch_into(&[0; 18], 0, &mut ws, &mut out).is_err());
+        assert!(layer.run_batch_into(&[0; 17], 2, &mut ws, &mut out).is_err());
+        assert!(layer.run_batch_into(&[0; 18], 2, &mut ws, &mut out[..7]).is_err());
+        assert!(layer.run_batch_into(&[0; 18], 2, &mut ws, &mut out).is_ok());
+
+        let lin = dummy_linear(4, 2);
+        let mut lout = vec![0i8; 4];
+        assert!(lin.run_batch_into(&[0; 8], 0, &mut lout).is_err());
+        assert!(lin.run_batch_into(&[0; 7], 2, &mut lout).is_err());
+        assert!(lin.run_batch_into(&[0; 8], 2, &mut lout[..3]).is_err());
+        assert!(lin.run_batch_into(&[0; 8], 2, &mut lout).is_ok());
+
+        let mut pout = vec![0i8; 8];
+        assert!(max_pool_codes_batch_into(&[0; 18], 1, 3, 3, 2, 2, 0, &mut pout).is_err());
+        assert!(max_pool_codes_batch_into(&[0; 17], 1, 3, 3, 2, 2, 2, &mut pout).is_err());
+        assert!(max_pool_codes_batch_into(&[0; 18], 1, 3, 3, 2, 2, 2, &mut pout).is_ok());
     }
 
     #[test]

@@ -163,5 +163,44 @@ fn bench_qnet_forward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qgemm_256, bench_qnet_forward);
+/// PR-8 serving regime: the batch-fused forward (one im2col + one qgemm
+/// per layer per *batch*, element-interleaved columns) against the
+/// retained per-image oracle loop over the same warm workspace, at the
+/// batch sizes the serving batcher actually forms. Both sides produce
+/// bit-identical logits; the delta is pure scheduling.
+fn bench_batched_forward(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(13);
+    let mut net = zoo::quick_custom(3, 16, [8, 8, 16], 32, 10, &mut rng).expect("topology");
+    let calib = rng.gaussian([4, 3, 16, 16], 0.0, 0.6);
+    let plan = calibrate(&mut net, &[(calib, vec![0usize; 4])], 8).expect("calibration");
+    let qnet = QuantizedNet::from_network(&net, &plan).expect("quantize");
+    let data = rng.gaussian([8, 3, 16, 16], 0.0, 0.6);
+    let per_image = 3 * 16 * 16;
+
+    let mut group = c.benchmark_group("qnet_forward_batched");
+    for &bsz in &[1usize, 4, 8] {
+        let slice = &data.as_slice()[..bsz * per_image];
+        let mut ws = qnet.plan_for_batch(bsz).workspace();
+        let mut out = vec![0.0f32; bsz * qnet.classes()];
+        group.throughput(Throughput::Elements(bsz as u64));
+        qnet.logits_batch_into(slice, bsz, &mut ws, &mut out).expect("warm-up");
+        group.bench_function(&format!("fused_b{bsz}"), |b| {
+            b.iter(|| {
+                qnet.logits_batch_into(black_box(slice), bsz, &mut ws, &mut out).expect("fused");
+                black_box(&mut out);
+            })
+        });
+        qnet.logits_batch_per_image_into(slice, bsz, &mut ws, &mut out).expect("warm-up");
+        group.bench_function(&format!("per_image_b{bsz}"), |b| {
+            b.iter(|| {
+                qnet.logits_batch_per_image_into(black_box(slice), bsz, &mut ws, &mut out)
+                    .expect("per-image");
+                black_box(&mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qgemm_256, bench_qnet_forward, bench_batched_forward);
 criterion_main!(benches);

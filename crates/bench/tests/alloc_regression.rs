@@ -195,6 +195,77 @@ fn warm_logits_batch_into_is_allocation_free() {
     black_box(&out);
 }
 
+/// A deliberately narrow calibrated conv net (1×16×16 → 4 classes)
+/// whose **fused** forward stays under the parallel kernel's MIN_MACS
+/// threshold even at batch 8 (conv1 is 2 rows · 25 syn · 256 px =
+/// 12 800 MACs/image, 8 × 12 800 = 102 400 < 2¹⁷ — `quantized_net`'s
+/// 75-synapse conv1 is 76 800 MACs/image and would cross it at batch
+/// 2 and engage the pool). That keeps the whole batched forward on the
+/// calling thread under both feature sets, which is the regime the
+/// strict zero-allocation assertions cover.
+fn small_quantized_net(seed: u64) -> QuantizedNet {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(1, 16, [2, 2, 4], 8, 4, &mut rng).unwrap();
+    let batch = rng.gaussian([2, 1, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(batch, vec![0, 1])], 8).unwrap();
+    QuantizedNet::from_network(&net, &plan).unwrap()
+}
+
+#[test]
+fn warm_fused_batch_forward_is_allocation_free() {
+    // The batch-fused contract: one im2col + one qgemm per layer per
+    // *batch*, with every staging buffer drawn from a batch-sized plan —
+    // zero heap traffic once warm.
+    let qnet = small_quantized_net(26);
+    let mut rng = TensorRng::seed_from(26);
+    let batch = rng.gaussian([4, 1, 16, 16], 0.0, 0.7);
+    let mut ws = qnet.plan_for_batch(4).workspace();
+    let mut out = vec![0.0f32; 4 * qnet.classes()];
+    qnet.logits_batch_into(batch.as_slice(), 4, &mut ws, &mut out).unwrap();
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..10 {
+            qnet.logits_batch_into(black_box(batch.as_slice()), 4, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warmed batch-fused logits_batch_into must not touch the heap");
+    black_box(&out);
+}
+
+#[test]
+fn batched_plan_serves_smaller_batches_without_reallocating() {
+    // A workspace sized by `plan_for_batch(8)` — what a serving worker
+    // builds for its coalescing limit — must absorb every batch size
+    // 1..=8 with zero heap traffic once the thread lanes are warm.
+    // (On models big enough to cross MIN_MACS, a parallel build's fused
+    // dispatch engages the pool instead, whose per-dispatch task boxes
+    // allocate by design — the documented exception; this net stays
+    // serial in both feature sets so the strict assertion applies.)
+    let qnet = small_quantized_net(27);
+    let per_image = 16 * 16; // one channel
+    let mut rng = TensorRng::seed_from(27);
+    let big = rng.gaussian([8, 1, 16, 16], 0.0, 0.7);
+    let plan = qnet.plan_for_batch(8);
+    let mut ws = plan.workspace();
+    let mut out = vec![0.0f32; 8 * qnet.classes()];
+    // Warm-up at the largest batch grows the thread's accumulator
+    // lanes; the plan covers everything else up front.
+    qnet.logits_batch_into(big.as_slice(), 8, &mut ws, &mut out).unwrap();
+    for b in 1..=8usize {
+        let (allocs, ()) = allocations(|| {
+            qnet.logits_batch_into(
+                black_box(&big.as_slice()[..b * per_image]),
+                b,
+                &mut ws,
+                &mut out[..b * qnet.classes()],
+            )
+            .unwrap();
+        });
+        assert_eq!(allocs, 0, "batch {b} reallocated under a max_batch=8 plan");
+    }
+    assert!(ws.is_warm_for(&plan), "smaller batches must leave the workspace warm");
+    black_box(&out);
+}
+
 #[test]
 fn warm_serve_dispatch_compute_is_allocation_free() {
     // The steady-state work a serving worker performs per request, with

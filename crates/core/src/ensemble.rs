@@ -70,6 +70,24 @@ impl Ensemble {
         merged.merge(WorkspacePlan { f32_len: self.classes(), ..Default::default() })
     }
 
+    /// [`Ensemble::plan`] extended with the fused-batch dimension: member
+    /// plans take their batched shape ([`QuantizedNet::plan_for_batch`])
+    /// and the `f32` member-logit staging lane is sized for
+    /// `max_batch × classes` up front, so a workspace built from this
+    /// plan runs batched ensemble inference allocation-free for any batch
+    /// up to `max_batch`.
+    pub fn plan_for_batch(&self, max_batch: usize) -> WorkspacePlan {
+        let merged = self
+            .members
+            .iter()
+            .map(|m| m.plan_for_batch(max_batch))
+            .fold(WorkspacePlan::default(), |a, b| a.merge(b));
+        merged.merge(WorkspacePlan {
+            f32_len: self.classes() * max_batch.max(1),
+            ..Default::default()
+        })
+    }
+
     /// Averaged dequantized logits for a `N×C×H×W` batch.
     ///
     /// # Errors

@@ -24,8 +24,9 @@
 //! as thin wrappers over the calling thread's persistent workspace.
 
 use mfdfp_accel::qlayers::{
-    avg_pool_codes, avg_pool_codes_into, max_pool_codes, max_pool_codes_into, pool_out_dims,
-    relu_codes, ShiftConv, ShiftLinear, PRODUCT_FRAC_SHIFT,
+    avg_pool_codes, avg_pool_codes_batch_into, avg_pool_codes_into, max_pool_codes,
+    max_pool_codes_batch_into, max_pool_codes_into, pool_out_dims, relu_codes, ShiftConv,
+    ShiftLinear, PRODUCT_FRAC_SHIFT,
 };
 use mfdfp_dfp::{realign, AdderTree, DfpFormat, PackedPow2Matrix};
 use mfdfp_nn::{Layer, Network};
@@ -265,7 +266,18 @@ impl QuantizedNet {
             cur = layer_out_len(layer, cur);
             act_len = act_len.max(cur);
         }
-        WorkspacePlan { act_len, im2col_len, f32_len: 0 }
+        WorkspacePlan { act_len, im2col_len, ..WorkspacePlan::default() }
+    }
+
+    /// [`QuantizedNet::plan`] extended with the fused-batch dimension:
+    /// a workspace built from this plan runs the batch-fused forward
+    /// ([`QuantizedNet::logits_batch_into`]) allocation-free for any
+    /// batch up to `max_batch` — the activation ping-pong pair and the
+    /// im2col staging each scale by the batch, the `f32` staging does
+    /// not. This is what the serving worker sizes its per-thread scratch
+    /// with (`max_batch` = the batcher's coalescing limit).
+    pub fn plan_for_batch(&self, max_batch: usize) -> WorkspacePlan {
+        self.plan().for_batch(max_batch)
     }
 
     /// Runs integer-only inference on one `C×H×W` float image: quantizes
@@ -418,25 +430,126 @@ impl QuantizedNet {
     }
 
     /// Integer-only inference over an `N×C×H×W` batch: one `Vec` of logit
-    /// codes per image, identical to calling [`QuantizedNet::forward_codes`]
-    /// image by image (with the `parallel` feature, images fan out across
-    /// OS threads — each image's datapath is untouched, so the results stay
-    /// bit-identical to the serial loop).
+    /// codes per image, bit-identical to calling
+    /// [`QuantizedNet::forward_codes`] image by image.
     ///
-    /// This is the entry point the serving runtime's micro-batcher
-    /// dispatches coalesced requests through.
+    /// Since the batch-fused path landed this runs the whole batch as
+    /// **one** im2col gather and **one** packed shift-MAC pass per layer
+    /// (per group) — see [`QuantizedNet::logits_batch_into`] for the
+    /// fusion contract. The per-image loop survives as
+    /// [`QuantizedNet::forward_codes_batch_per_image`], the equivalence
+    /// oracle the fused path is property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath faults.
+    pub fn forward_codes_batch(&self, batch: &Tensor) -> Result<Vec<Vec<i8>>> {
+        let n = batch.shape().dim(0);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        with_thread_workspace(|ws| {
+            let len = self.forward_packed_batch(batch.as_slice(), n, ws)?;
+            let codes = ws.codes(len * n);
+            Ok((0..n).map(|b| (0..len).map(|e| codes[e * n + b]).collect()).collect())
+        })
+    }
+
+    /// The per-image batch loop the fused path replaced, kept alive as
+    /// the equivalence oracle: identical to calling
+    /// [`QuantizedNet::forward_codes`] image by image (with the
+    /// `parallel` feature, images fan out across OS threads — each
+    /// image's datapath is untouched, so results stay bit-identical to
+    /// the serial loop, and — by the fusion contract — to
+    /// [`QuantizedNet::forward_codes_batch`]).
     ///
     /// # Errors
     ///
     /// Propagates datapath faults from any image (the first, in batch
     /// order, wins).
-    pub fn forward_codes_batch(&self, batch: &Tensor) -> Result<Vec<Vec<i8>>> {
+    pub fn forward_codes_batch_per_image(&self, batch: &Tensor) -> Result<Vec<Vec<i8>>> {
         let n = batch.shape().dim(0);
         let per_image: usize = batch.shape().dims()[1..].iter().product();
         let data = batch.as_slice();
         let images: Vec<&[f32]> =
             (0..n).map(|s| &data[s * per_image..(s + 1) * per_image]).collect();
         self.run_images(&images)
+    }
+
+    /// The batch-fused packed forward: quantizes all `n` images into one
+    /// element-interleaved activation buffer (element `e` of image `b` at
+    /// `e·n + b`), then runs the layer loop **once**, each conv/linear
+    /// layer fusing the whole batch into a single column matrix and a
+    /// single shift-MAC kernel call per group
+    /// (`ShiftConv::run_batch_into` / `ShiftLinear::run_batch_into`).
+    /// Returns the per-image logit-code count; the `len·n` interleaved
+    /// codes sit in the workspace's front buffer ([`Workspace::codes`]).
+    ///
+    /// Row-banded parallelism now sees the whole layer-batch product, so
+    /// under the `parallel` feature the pool splits per-layer work — the
+    /// old per-image fan-out lives on only in the `*_per_image` oracle
+    /// entries.
+    fn forward_packed_batch(&self, data: &[f32], n: usize, ws: &mut Workspace) -> Result<usize> {
+        let (mut cur, mut nxt) = ws.take_act();
+        let result = self.forward_packed_batch_layers(data, n, ws, &mut cur, &mut nxt);
+        ws.restore_act(cur, nxt);
+        result
+    }
+
+    fn forward_packed_batch_layers(
+        &self,
+        data: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        cur: &mut AlignedVec<i8>,
+        nxt: &mut AlignedVec<i8>,
+    ) -> Result<usize> {
+        let per_image = data.len() / n;
+        cur.resize(per_image * n, 0);
+        for (b, image) in data.chunks_exact(per_image).enumerate() {
+            for (e, &x) in image.iter().enumerate() {
+                cur[e * n + b] = self.input_format.quantize(x) as i8;
+            }
+        }
+        for (idx, layer) in self.layers.iter().enumerate() {
+            // Same flight-recorder layer spans as the per-image loop —
+            // one span now covers the whole batch's layer.
+            match layer {
+                QLayer::Conv(c) => {
+                    let _span = mfdfp_obs::span!("qnet.conv", idx as u64);
+                    nxt.resize(c.out_len() * n, 0);
+                    c.run_batch_into(cur, n, ws, nxt).map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Linear(l) => {
+                    let _span = mfdfp_obs::span!("qnet.linear", idx as u64);
+                    nxt.resize(l.out_features * n, 0);
+                    l.run_batch_into(cur, n, nxt).map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Pool { kind, channels, in_h, in_w, window, stride } => {
+                    let _span = mfdfp_obs::span!("qnet.pool", idx as u64);
+                    let (oh, ow) =
+                        pool_out_dims(*in_h, *in_w, *window, *stride).map_err(CoreError::Accel)?;
+                    nxt.resize(channels * oh * ow * n, 0);
+                    match kind {
+                        PoolKind::Max => max_pool_codes_batch_into(
+                            cur, *channels, *in_h, *in_w, *window, *stride, n, nxt,
+                        ),
+                        PoolKind::Avg => avg_pool_codes_batch_into(
+                            cur, *channels, *in_h, *in_w, *window, *stride, n, nxt,
+                        ),
+                    }
+                    .map_err(CoreError::Accel)?;
+                    std::mem::swap(cur, nxt);
+                }
+                QLayer::Relu => {
+                    let _span = mfdfp_obs::span!("qnet.relu", idx as u64);
+                    relu_codes(cur);
+                }
+            }
+        }
+        Ok(cur.len() / n)
     }
 
     #[cfg(not(feature = "parallel"))]
@@ -512,22 +625,26 @@ impl QuantizedNet {
     /// `out` receives the `n × classes` dequantized logits row-major.
     /// Identical values to [`QuantizedNet::logits_batch`] — this *is* its
     /// implementation — but every scratch byte comes from a workspace, so
-    /// a warmed serial call performs zero heap allocations.
+    /// a warmed call performs zero heap allocations (size the workspace
+    /// with [`QuantizedNet::plan_for_batch`]).
     ///
-    /// With the `parallel` feature and `n ≥ 2`, image chunks fan out
-    /// across the persistent pool: the first chunk runs inline on the
-    /// caller with the passed (warmed) `ws`, the rest on pool workers in
-    /// their own thread-resident workspaces (bit-identical: chunk
-    /// boundaries depend only on the pool width, each image's datapath is
-    /// untouched). The pool dispatch itself costs O(threads) small
-    /// allocations — the documented exception to the zero-allocation
-    /// steady state.
+    /// This is the **batch-fused** path: the whole batch runs as one
+    /// interleaved layer loop — one im2col gather and one packed
+    /// shift-MAC pass per layer per group — bit-identical to the
+    /// per-image loop ([`QuantizedNet::logits_batch_per_image_into`], the
+    /// retained oracle) because the kernel's per-output accumulation
+    /// order does not depend on the column count
+    /// ([`mfdfp_tensor::qgemm_fused_into_i8`]). Under the `parallel`
+    /// feature, row-banded parallelism splits each layer's fused product
+    /// across the pool when the whole batch's MACs cross the dispatch
+    /// threshold; the pool dispatch costs O(threads) small allocations —
+    /// the documented exception to the zero-allocation steady state.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::BadConfig`] if `data` does not split into `n`
     /// equal images or `out` is not `n × classes`; propagates datapath
-    /// faults from any image (first in chunk-claim order wins).
+    /// faults.
     pub fn logits_batch_into(
         &self,
         data: &[f32],
@@ -535,8 +652,25 @@ impl QuantizedNet {
         ws: &mut Workspace,
         out: &mut [f32],
     ) -> Result<()> {
+        self.check_batch_buffers(data, n, out.len())?;
         if n == 0 {
-            if data.is_empty() && out.is_empty() {
+            return Ok(());
+        }
+        let len = self.forward_packed_batch(data, n, ws)?;
+        assert_eq!(len, self.classes, "logit count mismatch");
+        let codes = ws.codes(len * n);
+        for (b, row) in out.chunks_exact_mut(self.classes).enumerate() {
+            for (c, o) in row.iter_mut().enumerate() {
+                *o = self.output_format.dequantize(codes[c * n + b] as i32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared shape validation of the flat batched-logits entries.
+    fn check_batch_buffers(&self, data: &[f32], n: usize, out_len: usize) -> Result<()> {
+        if n == 0 {
+            if data.is_empty() && out_len == 0 {
                 return Ok(());
             }
             return Err(CoreError::BadConfig("empty batch with non-empty buffers".into()));
@@ -547,12 +681,42 @@ impl QuantizedNet {
                 data.len()
             )));
         }
-        if out.len() != n * self.classes {
+        if out_len != n * self.classes {
             return Err(CoreError::BadConfig(format!(
-                "logit buffer holds {} values, batch needs {}",
-                out.len(),
+                "logit buffer holds {out_len} values, batch needs {}",
                 n * self.classes
             )));
+        }
+        Ok(())
+    }
+
+    /// The per-image batched-logits loop the fused path replaced, kept
+    /// alive as the equivalence oracle (bit-identical to
+    /// [`QuantizedNet::logits_batch_into`] by the fusion contract).
+    ///
+    /// With the `parallel` feature and `n ≥ 2`, image chunks fan out
+    /// across the persistent pool: the first chunk runs inline on the
+    /// caller with the passed (warmed) `ws`, the rest on pool workers in
+    /// their own thread-resident workspaces (bit-identical: chunk
+    /// boundaries depend only on the pool width, each image's datapath is
+    /// untouched). The pool dispatch itself costs O(threads) small
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if `data` does not split into `n`
+    /// equal images or `out` is not `n × classes`; propagates datapath
+    /// faults from any image (first in chunk-claim order wins).
+    pub fn logits_batch_per_image_into(
+        &self,
+        data: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_batch_buffers(data, n, out.len())?;
+        if n == 0 {
+            return Ok(());
         }
         let per_image = data.len() / n;
         #[cfg(feature = "parallel")]

@@ -177,6 +177,41 @@ proptest! {
         }
     }
 
+    /// Ragged-batch coverage for the batch-fused forward on the MLP:
+    /// every batch size 1..=9 must match the retained per-image oracle
+    /// loop code-for-code (the serving batcher produces exactly these
+    /// ragged tails when traffic ebbs).
+    #[test]
+    fn fused_mlp_batch_matches_per_image_oracle(
+        w1 in proptest::collection::vec(-0.9f32..0.9, 32),
+        w2 in proptest::collection::vec(-0.9f32..0.9, 24),
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut net = mlp_with_weights(&w1, &w2);
+        let calib = Tensor::from_vec(vec![0.5; 8], Shape::d2(2, 4)).unwrap();
+        let plan = calibrate(&mut net, &[(calib, vec![0, 1])], 8).unwrap();
+        let q = QuantizedNet::from_network(&net, &plan).unwrap();
+        let mut rng = TensorRng::seed_from(seed + 1);
+        let batch = rng.gaussian([n, 4], 0.0, 0.5);
+        prop_assert_eq!(
+            q.forward_codes_batch(&batch).unwrap(),
+            q.forward_codes_batch_per_image(&batch).unwrap()
+        );
+        // The flat logits entries agree bit-for-bit too, and a plan
+        // sized for max_batch 9 serves every smaller batch warm.
+        let wplan = q.plan_for_batch(9);
+        let mut ws = wplan.workspace();
+        let mut fused = vec![0.0f32; n * q.classes()];
+        let mut oracle = vec![0.0f32; n * q.classes()];
+        q.logits_batch_into(batch.as_slice(), n, &mut ws, &mut fused).unwrap();
+        q.logits_batch_per_image_into(batch.as_slice(), n, &mut ws, &mut oracle).unwrap();
+        for (a, b) in fused.iter().zip(&oracle) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+        prop_assert!(ws.is_warm_for(&wplan));
+    }
+
     /// Quantization never introduces NaN/∞ into the working network.
     #[test]
     fn quantization_keeps_values_finite(

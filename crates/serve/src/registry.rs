@@ -81,6 +81,18 @@ impl ServedModel {
         }
     }
 
+    /// [`ServedModel::plan`] extended with the fused-batch dimension
+    /// ([`QuantizedNet::plan_for_batch`] /
+    /// [`Ensemble::plan_for_batch`]): what a dispatch worker sizes its
+    /// scratch with so the batch-fused forward runs allocation-free up to
+    /// the batcher's coalescing limit.
+    pub fn plan_for_batch(&self, max_batch: usize) -> WorkspacePlan {
+        match self {
+            ServedModel::Single(net) => net.plan_for_batch(max_batch),
+            ServedModel::Ensemble(e) => e.plan_for_batch(max_batch),
+        }
+    }
+
     /// Stable identity of the underlying allocation — used to group
     /// batched requests so two models that happen to share a name (one
     /// re-registered mid-flight) are never mixed into one batch.

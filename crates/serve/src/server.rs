@@ -360,6 +360,12 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
             scratch.data.extend_from_slice(request.image.as_slice());
         }
         scratch.logits.resize(batch_size * classes, 0.0);
+        // Size the inference workspace for the batch-fused forward (the
+        // whole batch runs as one interleaved layer loop, so activation
+        // and im2col staging scale by the batch). `reserve` on a warmed
+        // workspace is a no-op, so steady-state dispatch stays
+        // allocation-free.
+        scratch.ws.reserve(&model.plan_for_batch(batch_size));
         let infer_started = Instant::now();
         let inference = {
             let _span = mfdfp_obs::span!("serve.infer", batch_size as u64);

@@ -220,6 +220,68 @@ fn concurrent_producers_form_batches_with_identical_results() {
     assert!(json.contains("\"batch_histogram\""));
 }
 
+/// Batch-fused acceptance: mixed-size open-loop bursts (every size
+/// 1..=8, plus ragged repeats) drive the worker through the batch-fused
+/// forward at genuinely varied batch sizes; every response must be
+/// byte-identical to a direct per-image `QuantizedNet::logits` call, and
+/// the batch histogram must prove that batches larger than one — i.e.
+/// the fused one-im2col/one-qgemm-per-layer path with B > 1 — actually
+/// ran.
+#[test]
+fn mixed_batch_size_traffic_is_bit_identical_to_per_image() {
+    let q = tiny_qnet(71);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", q.clone());
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 128,
+            max_batch: 8,
+            max_wait: Duration::from_millis(10),
+        },
+    )
+    .unwrap();
+
+    // Each burst is enqueued in full before any of its tickets is
+    // awaited, so the single worker sees varied queue depths and the
+    // batcher forms ragged batches (submission is microseconds while an
+    // inference is much longer, so bursts pile up behind the in-flight
+    // batch).
+    let mut total = 0u64;
+    for (i, burst) in (1usize..=8).chain([3, 5]).enumerate() {
+        let imgs = images(burst, 200 + i as u64);
+        let tickets: Vec<_> =
+            imgs.iter().map(|img| (server.submit("tiny", img.clone()).unwrap(), img)).collect();
+        for (ticket, img) in tickets {
+            let response = ticket.wait().unwrap();
+            let direct = q.logits(img).unwrap();
+            assert_eq!(
+                bits(&response.logits),
+                bits(&direct),
+                "burst {i}: fused batched response differs from per-image logits"
+            );
+            assert!(response.batch_size >= 1 && response.batch_size <= 8);
+            total += 1;
+        }
+    }
+
+    let snap = server.metrics();
+    assert_eq!(snap.completed, total);
+    assert_eq!(snap.failed, 0);
+    assert!(
+        snap.max_batch_observed() >= 2,
+        "mixed traffic never exercised the fused path at B > 1: histogram {:?}",
+        snap.batch_histogram
+    );
+    assert!(snap.batch_histogram[0] >= 1, "the singleton burst must have run as a 1-batch");
+    // Histogram accounting: dispatched request count equals completions.
+    let dispatched: u64 =
+        snap.batch_histogram.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+    assert_eq!(dispatched, total);
+    server.shutdown();
+}
+
 /// Two requests with equal element counts but different shapes (`[768]`
 /// vs `[3,16,16]`) must coalesce into one batch safely — the datapath
 /// reads flat element slices, so shape must never poison a batch.

@@ -192,6 +192,117 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor> {
     Tensor::from_vec(cols, Shape::d2(g.col_height(), g.col_width()))
 }
 
+/// Batched `i8` im2col for the fused quantized conv path: gathers the
+/// receptive fields of **all `batch` images at once** into one
+/// `col_height × (OH·OW·batch)` column matrix, so a whole batch becomes a
+/// single packed-GEMM call per layer (per group) instead of `batch` of
+/// them.
+///
+/// Layout contract (the *element-interleaved* fused layout): activations
+/// arrive with the batch innermost — element `e` of image `b` at
+/// `input[e · batch + b]`, `e` in the usual `C×H×W` order — and the
+/// column matrix is written the same way: synapse `s` of output pixel `p`
+/// for image `b` lands at `xt[(s · npix + p) · batch + b]`. Because the
+/// GEMM output `out_c × (npix · batch)` then has column index
+/// `p · batch + b`, it **is** the next layer's element-interleaved input:
+/// no transpose or re-staging anywhere between layers, and a linear
+/// layer's interleaved activation buffer is directly its `k × batch`
+/// column matrix. With `batch = 1` this degenerates to the per-image
+/// im2col layout exactly.
+///
+/// The interleave also pays in the gather itself: each (synapse, pixel)
+/// source decides the padding test **once** and then moves `batch`
+/// contiguous bytes, so bounds logic is amortized across the batch.
+///
+/// `grp` selects one channel group of a grouped convolution (`0` for the
+/// dense case); `xt` must hold exactly one group's column matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BadGeometry`] for a zero batch or an
+/// out-of-range group, [`TensorError::DataLength`] if `input` is not
+/// `batch` interleaved images or `xt` is not the group's
+/// `col_height × npix × batch` column buffer.
+pub fn im2col_batched_i8(
+    input: &[i8],
+    g: &ConvGeometry,
+    grp: usize,
+    batch: usize,
+    xt: &mut [i8],
+) -> Result<()> {
+    if batch == 0 {
+        return Err(TensorError::BadGeometry("batched im2col needs a positive batch".into()));
+    }
+    if grp >= g.groups {
+        return Err(TensorError::BadGeometry(format!(
+            "im2col group {grp} out of {} groups",
+            g.groups
+        )));
+    }
+    let expect_in = g.in_c * g.in_h * g.in_w * batch;
+    if input.len() != expect_in {
+        return Err(TensorError::DataLength { expected: expect_in, actual: input.len() });
+    }
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let npix = oh * ow;
+    let group_in = g.in_c / g.groups;
+    let syn = group_in * g.kernel * g.kernel;
+    let expect_out = syn * npix * batch;
+    if xt.len() != expect_out {
+        return Err(TensorError::DataLength { expected: expect_out, actual: xt.len() });
+    }
+    let c_lo = grp * group_in;
+    let k = g.kernel;
+    let mut si = 0usize;
+    for c in c_lo..c_lo + group_in {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &mut xt[si * npix * batch..(si + 1) * npix * batch];
+                let mut pix = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        // A padded source row zeroes `ow` whole pixel
+                        // groups in one pass.
+                        row[pix * batch..(pix + ow) * batch].fill(0);
+                        pix += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    if batch == 1 {
+                        // Degenerate per-image layout: direct element
+                        // stores — a variable-length 1-byte memcpy per
+                        // pixel costs more than the move itself.
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            row[pix] = if ix < 0 || ix >= g.in_w as isize {
+                                0
+                            } else {
+                                input[(c * g.in_h + iy) * g.in_w + ix as usize]
+                            };
+                            pix += 1;
+                        }
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let dst = &mut row[pix * batch..(pix + 1) * batch];
+                        if ix < 0 || ix >= g.in_w as isize {
+                            dst.fill(0);
+                        } else {
+                            let src = ((c * g.in_h + iy) * g.in_w + ix as usize) * batch;
+                            dst.copy_from_slice(&input[src..src + batch]);
+                        }
+                        pix += 1;
+                    }
+                }
+                si += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Folds a patch matrix back into a `C×H×W` image, accumulating overlaps.
 ///
 /// This is the adjoint of [`im2col`] and is used for the gradient with

@@ -391,6 +391,58 @@ pub fn qgemm_into_i8(
     dispatch_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
 }
 
+/// The batch-fused `i8` entry: one packed shift-MAC pass over the
+/// **fused** column matrix of a whole batch. `xt` is the batched im2col
+/// layout produced by
+/// [`im2col_batched_i8`](crate::ops::conv::im2col_batched_i8) —
+/// `k × (ncols_per_image · batch)` with the batch interleaved innermost
+/// (column `j = p · batch + b` is output pixel `p` of image `b`) — and
+/// `out` receives the band's `rows × (ncols_per_image · batch)` codes in
+/// the same interleaved order, ready to be the next layer's input.
+///
+/// **Bit-identity contract.** The band kernel computes every output
+/// element by walking synapses `c = 0..k` in a fixed order that chunks
+/// over `k` only — the column count never changes the per-element
+/// accumulation order. Widening `ncols` from `ncols_per_image` to
+/// `ncols_per_image · batch` therefore yields, column for column, exactly
+/// the integers the per-image calls produce: the fused path is
+/// bit-identical to `batch` separate [`qgemm_into_i8`] calls by
+/// construction (and property-tested in
+/// `crates/tensor/tests/properties.rs`). The shift-MAC telemetry is
+/// likewise exact automatically: `rows · k · (ncols_per_image · batch)`
+/// equals the sum of the per-image counts.
+///
+/// What fusion buys is dispatch shape, not arithmetic: the MAC rows are
+/// `batch`× longer (deeper SIMD per nibble decode) and the row-banded
+/// parallel threshold sees the whole layer-batch product at once, so the
+/// pool splits per-layer work instead of per-image work.
+///
+/// # Errors
+///
+/// [`TensorError::BadGeometry`] for a zero batch and the shape/overflow
+/// errors of [`qgemm_into_i8`].
+#[allow(clippy::too_many_arguments)] // kernel entry: slices + full index frame
+pub fn qgemm_fused_into_i8(
+    w: &PackedPow2Matrix,
+    row0: usize,
+    rows: usize,
+    xt: &[i8],
+    ncols_per_image: usize,
+    batch: usize,
+    bias: &[i64],
+    acc_frac: i32,
+    out_frac: i32,
+    out: &mut [i8],
+) -> Result<()> {
+    if batch == 0 {
+        return Err(TensorError::BadGeometry("fused qgemm needs a positive batch".into()));
+    }
+    let ncols = ncols_per_image * batch;
+    qgemm_check(w, row0, rows, xt, ncols, bias, out.len())?;
+    let _span = mfdfp_obs::span!("qgemm.fused", (rows * w.cols() * ncols) as u64);
+    dispatch_band(w, row0, rows, xt, ncols, bias, acc_frac, out_frac, out)
+}
+
 /// Shared serial/parallel dispatch: bands whose work crosses the `par`
 /// module threshold fan output rows across the persistent pool; audits
 /// and shape checks have already run.

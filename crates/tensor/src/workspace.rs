@@ -51,6 +51,13 @@ pub struct WorkspacePlan {
     /// Peak `f32` scratch length (elements): logit staging for ensemble
     /// averaging (`batch × classes`).
     pub f32_len: usize,
+    /// Largest fused batch the workspace must hold: the batched conv path
+    /// interleaves `B` images per activation element, so the activation
+    /// ping-pong pair and the im2col staging area each scale by `B`.
+    /// `0` and `1` both mean "single image" (so `Default` and older
+    /// single-image plans keep their meaning); see
+    /// [`WorkspacePlan::batch`].
+    pub max_batch: usize,
 }
 
 impl WorkspacePlan {
@@ -62,7 +69,22 @@ impl WorkspacePlan {
             act_len: self.act_len.max(other.act_len),
             im2col_len: self.im2col_len.max(other.im2col_len),
             f32_len: self.f32_len.max(other.f32_len),
+            max_batch: self.max_batch.max(other.max_batch),
         }
+    }
+
+    /// Effective fused batch size: `max_batch`, with the `0` default
+    /// normalized to `1` so un-batched plans are unchanged.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.max_batch.max(1)
+    }
+
+    /// This plan resized for fused batches up to `max_batch` images —
+    /// per-layer buffer peaks stay the same, capacity scales by the batch.
+    #[must_use]
+    pub fn for_batch(self, max_batch: usize) -> WorkspacePlan {
+        WorkspacePlan { max_batch, ..self }
     }
 
     /// A workspace pre-sized to this plan — sugar for
@@ -85,9 +107,11 @@ impl WorkspacePlan {
 /// ```
 /// use mfdfp_tensor::{Workspace, WorkspacePlan};
 ///
-/// let plan = WorkspacePlan { act_len: 1024, im2col_len: 4096, f32_len: 0 };
+/// let plan = WorkspacePlan { act_len: 1024, im2col_len: 4096, ..Default::default() };
 /// let ws = plan.workspace();
 /// assert!(ws.is_warm_for(&plan));
+/// // The same geometry, fused over batches of up to 8 images.
+/// assert!(plan.for_batch(8).workspace().is_warm_for(&plan.for_batch(8)));
 /// // A default workspace grows lazily instead.
 /// assert!(!Workspace::new().is_warm_for(&plan));
 /// ```
@@ -118,12 +142,16 @@ impl Workspace {
         ws
     }
 
-    /// Grows any buffer still below `plan`'s peaks (never shrinks).
+    /// Grows any buffer still below `plan`'s peaks (never shrinks). The
+    /// activation and im2col lanes scale by [`WorkspacePlan::batch`]: a
+    /// plan with `max_batch = 8` warms the workspace for fused batches of
+    /// up to eight images (and, a fortiori, for every smaller batch).
     pub fn reserve(&mut self, plan: &WorkspacePlan) {
+        let b = plan.batch();
         for act in &mut self.act {
-            act.reserve(plan.act_len);
+            act.reserve(plan.act_len * b);
         }
-        self.im2col.reserve(plan.im2col_len);
+        self.im2col.reserve(plan.im2col_len * b);
         self.f32buf.reserve(plan.f32_len);
     }
 
@@ -131,8 +159,9 @@ impl Workspace {
     /// a pass over a model with this plan will not allocate.
     #[must_use]
     pub fn is_warm_for(&self, plan: &WorkspacePlan) -> bool {
-        self.act.iter().all(|a| a.capacity() >= plan.act_len)
-            && self.im2col.capacity() >= plan.im2col_len
+        let b = plan.batch();
+        self.act.iter().all(|a| a.capacity() >= plan.act_len * b)
+            && self.im2col.capacity() >= plan.im2col_len * b
             && self.f32buf.capacity() >= plan.f32_len
     }
 
@@ -238,18 +267,39 @@ mod tests {
 
     #[test]
     fn plan_merge_takes_elementwise_max() {
-        let a = WorkspacePlan { act_len: 10, im2col_len: 5, f32_len: 0 };
-        let b = WorkspacePlan { act_len: 3, im2col_len: 9, f32_len: 4 };
-        assert_eq!(a.merge(b), WorkspacePlan { act_len: 10, im2col_len: 9, f32_len: 4 });
+        let a = WorkspacePlan { act_len: 10, im2col_len: 5, f32_len: 0, max_batch: 2 };
+        let b = WorkspacePlan { act_len: 3, im2col_len: 9, f32_len: 4, max_batch: 0 };
+        assert_eq!(
+            a.merge(b),
+            WorkspacePlan { act_len: 10, im2col_len: 9, f32_len: 4, max_batch: 2 }
+        );
     }
 
     #[test]
     fn with_plan_pre_sizes_every_buffer() {
-        let plan = WorkspacePlan { act_len: 64, im2col_len: 128, f32_len: 32 };
+        let plan = WorkspacePlan { act_len: 64, im2col_len: 128, f32_len: 32, max_batch: 0 };
         let ws = plan.workspace();
         assert!(ws.is_warm_for(&plan));
-        assert!(ws.is_warm_for(&WorkspacePlan { act_len: 1, im2col_len: 1, f32_len: 1 }));
+        assert!(ws.is_warm_for(&WorkspacePlan { act_len: 1, im2col_len: 1, f32_len: 1, ..plan }));
         assert!(!ws.is_warm_for(&WorkspacePlan { act_len: 65, ..plan }));
+    }
+
+    #[test]
+    fn batched_plan_scales_act_and_im2col_lanes() {
+        let single = WorkspacePlan { act_len: 16, im2col_len: 40, f32_len: 4, max_batch: 0 };
+        assert_eq!(single.batch(), 1, "max_batch 0 normalizes to a single image");
+        let batched = single.for_batch(8);
+        assert_eq!(batched.batch(), 8);
+        let ws = batched.workspace();
+        // Warm for the full batch and every smaller one, but a single-image
+        // workspace is not warm for the batched plan.
+        assert!(ws.is_warm_for(&batched));
+        assert!(ws.is_warm_for(&single.for_batch(3)));
+        assert!(ws.is_warm_for(&single));
+        assert!(!single.workspace().is_warm_for(&batched));
+        // f32 staging is not batch-scaled (callers size it explicitly in
+        // their plans), so the batched plan asks for the same 4 slots.
+        assert!(single.workspace().f32buf.capacity() >= 4);
     }
 
     #[test]

@@ -171,6 +171,172 @@ proptest! {
     }
 }
 
+/// The batch-fused conv path must never change a single output bit: the
+/// fused column matrix is a pure re-layout (batch interleaved innermost)
+/// and the kernel's per-output accumulation order does not depend on the
+/// column count. These run in both feature sets — under `parallel` the
+/// fused product frequently crosses the row-band dispatch threshold, so
+/// the same cases also pin serial == parallel on the fused path.
+mod fused_batch_equivalence {
+    use mfdfp_dfp::{PackedPow2Matrix, Pow2Weight};
+    use mfdfp_tensor::{im2col_batched_i8, qgemm_fused_into_i8, qgemm_into_i8, ConvGeometry};
+    use proptest::prelude::*;
+
+    fn codes_matrix(rows: usize, cols: usize, seed: u64) -> PackedPow2Matrix {
+        let mut state = seed | 1;
+        let ws: Vec<Pow2Weight> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Pow2Weight::decode4((state % 16) as u8).unwrap()
+            })
+            .collect();
+        PackedPow2Matrix::from_weights(rows, cols, &ws).unwrap()
+    }
+
+    fn codes(n: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 256) as u8 as i8
+            })
+            .collect()
+    }
+
+    /// Element-interleaves per-image buffers into the fused layout
+    /// (`fused[e·B + b] = images[b][e]`).
+    fn interleave(images: &[Vec<i8>]) -> Vec<i8> {
+        let batch = images.len();
+        let per = images[0].len();
+        let mut fused = vec![0i8; per * batch];
+        for (b, img) in images.iter().enumerate() {
+            for (e, &v) in img.iter().enumerate() {
+                fused[e * batch + b] = v;
+            }
+        }
+        fused
+    }
+
+    /// Independent per-image im2col oracle: the plain quadruple loop with
+    /// explicit padding checks, sharing no code with the batched gather.
+    fn gather_reference(input: &[i8], g: &ConvGeometry, grp: usize) -> Vec<i8> {
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let group_in = g.in_c / g.groups;
+        let c_lo = grp * group_in;
+        let mut out = Vec::new();
+        for c in c_lo..c_lo + group_in {
+            for ky in 0..g.kernel {
+                for kx in 0..g.kernel {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            let oob =
+                                iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize;
+                            out.push(if oob {
+                                0
+                            } else {
+                                input[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The batched gather is exactly the per-image gathers,
+        /// interleaved: `xt[e·B + b]` equals image `b`'s column element
+        /// `e`, across random geometries (incl. grouped convs, padding,
+        /// strides) and batch sizes 1..=9.
+        #[test]
+        fn batched_im2col_interleaves_per_image_gathers(
+            in_c in 1usize..4,
+            hw in 3usize..9,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..3,
+            grouped in proptest::bool::ANY,
+            batch in 1usize..10,
+            seed in 0u64..1_000_000,
+        ) {
+            let (in_c, groups) = if grouped { (in_c * 2, 2) } else { (in_c, 1) };
+            let g = ConvGeometry::new(in_c, hw, hw, groups, kernel, stride, pad)
+                .unwrap()
+                .with_groups(groups)
+                .unwrap();
+            let per = in_c * hw * hw;
+            let images: Vec<Vec<i8>> =
+                (0..batch).map(|b| codes(per, seed ^ (b as u64 * 0x9E37 + 1))).collect();
+            let fused_in = interleave(&images);
+            let npix = g.out_h() * g.out_w();
+            let syn = (in_c / groups) * g.kernel * g.kernel;
+            for grp in 0..groups {
+                let mut xt = vec![0i8; syn * npix * batch];
+                im2col_batched_i8(&fused_in, &g, grp, batch, &mut xt).unwrap();
+                for (b, img) in images.iter().enumerate() {
+                    let want = gather_reference(img, &g, grp);
+                    for (e, &w) in want.iter().enumerate() {
+                        prop_assert_eq!(
+                            xt[e * batch + b], w,
+                            "grp={} b={} e={}", grp, b, e
+                        );
+                    }
+                }
+            }
+        }
+
+        /// One fused kernel call over `B` interleaved column matrices is
+        /// bit-identical to `B` per-image calls, across random weight
+        /// shapes, radix positions, and batch sizes 1..=9. Under the
+        /// `parallel` feature larger cases cross the row-band dispatch
+        /// threshold, covering the fused-parallel schedule too.
+        #[test]
+        fn fused_qgemm_bit_identical_to_per_image(
+            rows in 1usize..9,
+            cols in 1usize..25,
+            ncols_pi in 1usize..6,
+            batch in 1usize..10,
+            in_frac in 0i32..8,
+            out_frac in 0i32..8,
+            seed in 0u64..1_000_000,
+        ) {
+            let w = codes_matrix(rows, cols, seed | 1);
+            let acc_frac = in_frac + 7;
+            let bias: Vec<i64> = (0..rows).map(|r| (r as i64 - 3) * 37).collect();
+            let images: Vec<Vec<i8>> = (0..batch)
+                .map(|b| codes(cols * ncols_pi, seed ^ ((b as u64 + 1) * 0x5bd1_e995)))
+                .collect();
+            let fused_xt = interleave(&images);
+            let mut fused_out = vec![0i8; rows * ncols_pi * batch];
+            qgemm_fused_into_i8(
+                &w, 0, rows, &fused_xt, ncols_pi, batch, &bias, acc_frac, out_frac,
+                &mut fused_out,
+            )
+            .unwrap();
+            for (b, img) in images.iter().enumerate() {
+                let mut per = vec![0i8; rows * ncols_pi];
+                qgemm_into_i8(&w, 0, rows, img, ncols_pi, &bias, acc_frac, out_frac, &mut per)
+                    .unwrap();
+                for (e, &want) in per.iter().enumerate() {
+                    prop_assert_eq!(
+                        fused_out[e * batch + b], want,
+                        "b={} e={} rows={} cols={} ncols_pi={}", b, e, rows, cols, ncols_pi
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The `parallel` feature must never change a single output bit: threads
 /// only reschedule work, the kernels fix the accumulation order.
 #[cfg(feature = "parallel")]

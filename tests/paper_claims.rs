@@ -129,6 +129,56 @@ fn dynamic_format_range_claim() {
     assert_eq!(fine.quantize(100.0), fine.max_code()); // saturated
 }
 
+/// Section 5 / Figure 2(a): the datapath performs a *fixed* amount of
+/// shift-add work per image — the premise of the paper's energy model
+/// (energy = per-op energy × op count). The batch-fused forward (one
+/// im2col + one qgemm per layer per batch) must therefore count exactly
+/// the sum of its per-image runs: fusion reshapes the schedule, never
+/// the work. With `obs` off all counters are compile-time zeros and the
+/// equality holds trivially; the `obs` assertion below keeps the test
+/// honest by requiring real counted work on instrumented builds.
+#[test]
+fn fused_batch_op_count_equals_sum_of_per_image_counts() {
+    use mfdfp::core::{calibrate, QuantizedNet};
+    use mfdfp::obs::ops;
+
+    let mut rng = TensorRng::seed_from(17);
+    let mut net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).unwrap();
+    let calib = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(calib, vec![0, 1, 2, 3])], 8).unwrap();
+    let q = QuantizedNet::from_network(&net, &plan).unwrap();
+    let batch = rng.gaussian([5, 3, 16, 16], 0.0, 0.7);
+
+    let before = ops::counters();
+    let fused = q.logits_batch(&batch).unwrap();
+    let fused_ops = ops::counters().since(&before);
+
+    let mut per_image_macs = 0u64;
+    let mut per_image_bytes = 0u64;
+    for b in 0..5 {
+        let img = batch.index_axis0(b);
+        let before = ops::counters();
+        let direct = q.logits(&img).unwrap();
+        let delta = ops::counters().since(&before);
+        per_image_macs += delta.shift_macs;
+        per_image_bytes += delta.im2col_bytes;
+        // The fused logits are also bit-identical to the per-image path.
+        for (f, d) in fused.index_axis0(b).as_slice().iter().zip(direct.as_slice()) {
+            assert_eq!(f.to_bits(), d.to_bits(), "image {b}");
+        }
+    }
+    assert_eq!(fused_ops.shift_macs, per_image_macs, "fusion must not change the MAC count");
+    assert_eq!(
+        fused_ops.im2col_bytes, per_image_bytes,
+        "fusion must stage exactly the per-image gather bytes"
+    );
+    #[cfg(feature = "obs")]
+    {
+        assert!(fused_ops.shift_macs > 0, "instrumented builds must observe real MAC work");
+        assert!(fused_ops.im2col_bytes > 0, "conv layers must stage counted bytes");
+    }
+}
+
 /// Section 5 / Figure 2(a): intermediate wires grow 16→20 bits so that no
 /// intermediate value is ever lost.
 #[test]
