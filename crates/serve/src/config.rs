@@ -12,26 +12,40 @@ use crate::error::{Result, ServeError};
 /// `max_wait` has elapsed since the pop, whichever comes first. A batch
 /// dispatches through `logits_batch`, which (with the `parallel` feature)
 /// fans images out across the PR-1 threaded GEMM/conv path.
+///
+/// The sharding knob splits the server into `shards` independent
+/// (queue + worker pool) units; requests route by a stable hash of the
+/// model name, so independent models stop contending on one queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Worker threads draining the queue (each dispatches whole batches).
+    /// Independent worker shards. Each shard owns its bounded queue and
+    /// its own worker pool; a request routes to `hash(model) % shards`.
+    pub shards: usize,
+    /// Worker threads draining each shard's queue (each dispatches whole
+    /// batches); the total worker count is `shards × workers`.
     pub workers: usize,
-    /// Bounded request-queue capacity; submissions beyond it are rejected
-    /// with [`ServeError::QueueFull`] (admission control).
+    /// Bounded per-shard request-queue capacity; submissions beyond it
+    /// are rejected with [`ServeError::QueueFull`] (admission control).
     pub queue_capacity: usize,
     /// Largest batch a worker will coalesce before dispatching.
     pub max_batch: usize,
     /// How long a worker holds an open batch waiting for more requests.
     pub max_wait: Duration,
+    /// Per-model in-flight quota: at most this many requests per model
+    /// may be queued/in flight at once; the excess is rejected with
+    /// [`ServeError::QuotaExceeded`]. `None` disables quotas.
+    pub model_quota: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 1,
             workers: 1,
             queue_capacity: 256,
             max_batch: 16,
             max_wait: Duration::from_micros(2000),
+            model_quota: None,
         }
     }
 }
@@ -41,9 +55,12 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for zero workers, zero capacity
-    /// or a zero batch bound.
+    /// Returns [`ServeError::BadConfig`] for zero shards, zero workers,
+    /// zero capacity, a zero batch bound or a zero quota.
     pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ServeError::BadConfig("shards must be at least 1".into()));
+        }
         if self.workers == 0 {
             return Err(ServeError::BadConfig("workers must be at least 1".into()));
         }
@@ -52,6 +69,63 @@ impl ServeConfig {
         }
         if self.max_batch == 0 {
             return Err(ServeError::BadConfig("max_batch must be at least 1".into()));
+        }
+        if self.model_quota == Some(0) {
+            return Err(ServeError::BadConfig("model_quota must be at least 1 (or None)".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Limits and knobs for the HTTP/1.1 front-end ([`crate::HttpServer`]).
+///
+/// The defaults are deliberately strict: the hand-rolled parser enforces
+/// every bound *before* buffering, so a hostile peer cannot make the
+/// server allocate more than `max_head_bytes + max_body_bytes` per
+/// connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Largest accepted request head (request line + headers, through the
+    /// terminating blank line). Larger heads are rejected with `431`.
+    pub max_head_bytes: usize,
+    /// Largest accepted request body (`Content-Length`); larger bodies
+    /// are rejected with `413` without reading them.
+    pub max_body_bytes: usize,
+    /// Concurrent connections served; the acceptor answers `503` and
+    /// closes once this many handler threads are live (load shedding at
+    /// the edge).
+    pub max_connections: usize,
+    /// Per-socket read timeout: an idle keep-alive connection is dropped
+    /// after this long, so handler threads cannot leak.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl HttpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero limits.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_head_bytes == 0 || self.max_body_bytes == 0 {
+            return Err(ServeError::BadConfig("http byte limits must be positive".into()));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::BadConfig("max_connections must be at least 1".into()));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(ServeError::BadConfig("read_timeout must be positive".into()));
         }
         Ok(())
     }
@@ -64,14 +138,25 @@ mod tests {
     #[test]
     fn defaults_validate() {
         assert!(ServeConfig::default().validate().is_ok());
+        assert!(HttpConfig::default().validate().is_ok());
     }
 
     #[test]
     fn zero_knobs_rejected() {
         for cfg in [
+            ServeConfig { shards: 0, ..Default::default() },
             ServeConfig { workers: 0, ..Default::default() },
             ServeConfig { queue_capacity: 0, ..Default::default() },
             ServeConfig { max_batch: 0, ..Default::default() },
+            ServeConfig { model_quota: Some(0), ..Default::default() },
+        ] {
+            assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
+        }
+        for cfg in [
+            HttpConfig { max_head_bytes: 0, ..Default::default() },
+            HttpConfig { max_body_bytes: 0, ..Default::default() },
+            HttpConfig { max_connections: 0, ..Default::default() },
+            HttpConfig { read_timeout: Duration::ZERO, ..Default::default() },
         ] {
             assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
         }

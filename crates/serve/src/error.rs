@@ -31,6 +31,29 @@ pub enum ServeError {
     BadConfig(String),
     /// The quantized datapath faulted while serving the request.
     Inference(CoreError),
+    /// The model's per-model admission quota is exhausted: the model
+    /// already has `quota` requests in flight. Like
+    /// [`ServeError::QueueFull`] this is backpressure, scoped to one
+    /// model so a single hot model cannot starve the others.
+    QuotaExceeded {
+        /// The model whose quota was exhausted.
+        model: String,
+        /// The configured per-model in-flight quota.
+        quota: u64,
+    },
+    /// The request's deadline expired before inference started; the
+    /// batcher shed it instead of wasting datapath time on an answer the
+    /// client has already given up on. Counted in the `shed` metrics.
+    DeadlineExceeded {
+        /// The model the request addressed.
+        model: String,
+    },
+    /// A worker panicked while dispatching the batch holding this
+    /// request. The panic was contained (the worker thread survives and
+    /// no lock is poisoned); the batch is answered with this typed error.
+    WorkerPanic,
+    /// A socket-level fault in the HTTP front-end (bind/accept/read).
+    Io(String),
 }
 
 impl fmt::Display for ServeError {
@@ -46,6 +69,16 @@ impl fmt::Display for ServeError {
             }
             ServeError::BadConfig(msg) => write!(f, "invalid serving configuration: {msg}"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::QuotaExceeded { model, quota } => {
+                write!(f, "model {model:?} is at its in-flight quota ({quota})")
+            }
+            ServeError::DeadlineExceeded { model } => {
+                write!(f, "request for model {model:?} shed: deadline expired before inference")
+            }
+            ServeError::WorkerPanic => {
+                write!(f, "a serving worker panicked while dispatching this batch")
+            }
+            ServeError::Io(msg) => write!(f, "http i/o error: {msg}"),
         }
     }
 }

@@ -9,30 +9,59 @@
 //!
 //! Pipeline:
 //!
-//! 1. **Admission control** — [`Server::submit`] resolves the model in the
-//!    [`ModelRegistry`], validates the input size, and enqueues into a
-//!    bounded MPMC queue; a full queue rejects immediately
-//!    ([`ServeError::QueueFull`]) so overload surfaces as backpressure,
-//!    not unbounded memory.
-//! 2. **Micro-batching** — worker threads pop a request and linger up to
+//! 1. **Front-end (optional)** — [`HttpServer`] exposes the tier over
+//!    `std`-only HTTP/1.1 (thread-per-connection, hand-rolled parser
+//!    with strict size limits — see [`http`]): `POST /v1/infer/<model>`
+//!    with a JSON f32 array, `GET /v1/models`, `GET /v1/metrics`.
+//!    Logits cross the wire bit-exactly; the `x-mfdfp-deadline-us` and
+//!    `x-mfdfp-priority` headers map onto the admission options below.
+//! 2. **Admission control** — [`Server::submit`] /
+//!    [`Server::submit_with`] resolves the model (and its version) in
+//!    the [`ModelRegistry`], validates the input size, takes a
+//!    per-model quota slot ([`ServeConfig::model_quota`], rejected as
+//!    [`ServeError::QuotaExceeded`]), and routes to
+//!    `hash(model) % shards` — each shard an independent bounded MPMC
+//!    queue + worker pool, so a slow model cannot convoy a fast one. A
+//!    full queue rejects immediately ([`ServeError::QueueFull`]) so
+//!    overload surfaces as backpressure, not unbounded memory.
+//!    [`SubmitOptions`] attaches an optional deadline and a priority
+//!    lane ([`Priority::High`] dispatches ahead of throughput batches).
+//! 3. **Micro-batching** — shard workers pop a request and linger up to
 //!    [`ServeConfig::max_wait`] to coalesce up to
-//!    [`ServeConfig::max_batch`] requests, then dispatch the batch through
-//!    `QuantizedNet::logits_batch` / `Ensemble::logits_batch`. With the
-//!    `parallel` feature, each per-model group is submitted as a task on
-//!    the persistent `mfdfp-rt` pool — the same pool the GEMM/conv
-//!    kernels fan out on, so no code path ever spawns threads per call
-//!    and the compute footprint is bounded by
-//!    `workers + pool width − 1` threads (see README "Threading model").
-//! 3. **Telemetry** — [`ServerMetrics`] tracks throughput, latency
-//!    percentiles, queue depth, the batch-size histogram, a per-stage
-//!    breakdown (queue-wait / inference / response send), a per-model
-//!    registry of the same series, the process-wide datapath op counters
-//!    with their energy estimate, and the shared pool's counters;
-//!    [`MetricsSnapshot::to_json`] exports it all under a schema that is
-//!    stable across feature sets. With the `obs` feature the pipeline
-//!    stages also emit flight-recorder spans (`serve.submit`,
-//!    `serve.batch_form`, `serve.queue_wait`, `serve.infer`,
-//!    `serve.respond`) exportable as a Chrome/Perfetto trace.
+//!    [`ServeConfig::max_batch`] requests, **shed** every request whose
+//!    deadline expired while it queued ([`ServeError::DeadlineExceeded`]
+//!    — zero datapath time spent), group by the resolved model's
+//!    allocation identity (a batch never mixes two models or two
+//!    versions of one — the invariant behind zero-downtime
+//!    [`Server::swap_model`] hot swaps), and dispatch each group through
+//!    `QuantizedNet::logits_batch` / `Ensemble::logits_batch` under
+//!    `catch_unwind` (a panicking dispatch degrades to typed
+//!    [`ServeError::WorkerPanic`] responses; the worker survives). With
+//!    the `parallel` feature, each group is submitted as a task on the
+//!    persistent `mfdfp-rt` pool — the same pool the GEMM/conv kernels
+//!    fan out on, so no code path ever spawns threads per call and the
+//!    compute footprint is bounded by
+//!    `shards × workers + pool width − 1` threads (see README
+//!    "Threading model").
+//! 4. **Telemetry** — [`ServerMetrics`] tracks throughput, latency
+//!    percentiles, per-shard queue depths, shed/rejection counters, the
+//!    batch-size histogram, a per-stage breakdown (queue-wait /
+//!    inference / response send), a per-model registry of the same
+//!    series (including version and swap counts), the process-wide
+//!    datapath op counters with their energy estimate, and the shared
+//!    pool's counters; [`MetricsSnapshot::to_json`] exports it all
+//!    under a schema that is stable across feature sets. With the `obs`
+//!    feature the pipeline stages also emit flight-recorder spans
+//!    (`serve.accept`, `serve.http_parse`, `serve.submit`,
+//!    `serve.route`, `serve.batch_form`, `serve.shed`,
+//!    `serve.queue_wait`, `serve.infer`, `serve.respond`) exportable as
+//!    a Chrome/Perfetto trace.
+//!
+//! Failure paths are provable: the [`fault`] module compiles
+//! deterministic injection points (queue-full, worker panic, slow
+//! batch, registry-read dwell) into test builds — and to inline no-ops
+//! in production builds — so the chaos and fault harnesses in
+//! `tests/` can drive every degradation path on demand.
 //!
 //! Batching changes *when* images are evaluated, never *what* they
 //! evaluate to: responses are byte-identical to direct `logits` calls
@@ -58,16 +87,20 @@
 
 mod config;
 mod error;
+pub mod fault;
+pub mod http;
 mod metrics;
 mod queue;
 mod registry;
 mod server;
+mod shard;
 
-pub use config::ServeConfig;
+pub use config::{HttpConfig, ServeConfig};
 pub use error::{Result, ServeError};
+pub use http::HttpServer;
 pub use metrics::{
     MetricsSnapshot, ModelMetrics, ModelSnapshot, ServerMetrics, StageSnapshot, StagesSnapshot,
 };
 pub use queue::{BoundedQueue, PushRejection};
 pub use registry::{ModelRegistry, ServedModel};
-pub use server::{Response, Server, Ticket};
+pub use server::{Priority, Response, Server, SubmitOptions, Ticket};

@@ -95,6 +95,8 @@ pub struct ServerMetrics {
     max_batch: usize,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    quota_rejected: AtomicU64,
+    shed: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     latency: Histogram,
@@ -115,6 +117,8 @@ impl ServerMetrics {
             max_batch: max_batch.max(1),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             latency: Histogram::new(),
@@ -151,6 +155,18 @@ impl ServerMetrics {
     /// Records an admission-control rejection (queue full).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an admission-control rejection caused by a per-model
+    /// quota.
+    pub fn record_quota_rejected(&self) {
+        self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed by the batcher because its deadline
+    /// expired before inference.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one dispatched batch of `size` requests.
@@ -190,8 +206,21 @@ impl ServerMetrics {
     /// Takes a consistent-enough point-in-time view (counters are read
     /// individually; relaxed skew of a few requests is acceptable for
     /// monitoring). `queue_depth` is sampled by the caller, which owns the
-    /// queue.
+    /// queue. Single-queue convenience for
+    /// [`ServerMetrics::snapshot_sharded`].
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        self.snapshot_sharded(&[queue_depth])
+    }
+
+    /// [`ServerMetrics::snapshot`] over a sharded server: `shard_depths`
+    /// holds each shard's queue depth (sampled by the caller, which owns
+    /// the shards). The aggregate `queue_depth` is their sum, and —
+    /// exactly like the single-queue path — `uptime` and
+    /// `throughput_rps` come from **one** `elapsed()` sample, so the
+    /// reported rate is always reproducible from the reported uptime no
+    /// matter how many shards were merged.
+    pub fn snapshot_sharded(&self, shard_depths: &[usize]) -> MetricsSnapshot {
+        let queue_depth = shard_depths.iter().sum();
         let buckets = self.latency.load_buckets();
         let completed = self.completed.load(Ordering::Relaxed);
         let sum_us = self.latency.sum_us.load(Ordering::Relaxed);
@@ -221,9 +250,12 @@ impl ServerMetrics {
             uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
             queue_depth,
+            shard_depths: shard_depths.to_vec(),
             throughput_rps: completed as f64 / elapsed,
             mean_latency_us: if completed == 0 { 0.0 } else { sum_us as f64 / completed as f64 },
             p50_latency_us: percentile_upper_bound(&buckets, 0.50),
@@ -251,8 +283,17 @@ impl ServerMetrics {
 /// the [`ModelRegistry`](crate::ModelRegistry) keying).
 pub struct ModelMetrics {
     submitted: AtomicU64,
+    quota_rejected: AtomicU64,
+    shed: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Requests admitted but not yet answered/failed/shed — the
+    /// admission token the per-model quota gates on.
+    in_flight: AtomicU64,
+    /// Registry version observed at the latest admission/swap.
+    version: AtomicU64,
+    /// Hot swaps recorded against this model (via `Server::swap_model`).
+    swaps: AtomicU64,
     latency: Histogram,
     batch_buckets: Vec<AtomicU64>,
 }
@@ -261,8 +302,13 @@ impl ModelMetrics {
     fn new(max_batch: usize) -> Self {
         ModelMetrics {
             submitted: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             latency: Histogram::new(),
             batch_buckets: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -290,6 +336,57 @@ impl ModelMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an admission rejected by this model's quota.
+    pub fn record_quota_rejected(&self) {
+        self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed because its deadline expired before
+    /// inference.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attempts to take one in-flight admission slot. With `quota:
+    /// Some(q)` the acquisition fails (and nothing is counted) once `q`
+    /// requests are in flight; with `None` it always succeeds. Every
+    /// successful acquisition must be paired with a
+    /// [`ModelMetrics::release_slot`] when the request reaches a terminal
+    /// state (answered, failed, shed, or rejected by the queue after
+    /// acquisition).
+    pub fn try_acquire_slot(&self, quota: Option<u64>) -> bool {
+        self.in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| match quota {
+                Some(q) if n >= q => None,
+                _ => Some(n + 1),
+            })
+            .is_ok()
+    }
+
+    /// Releases one in-flight admission slot (saturating — a stray
+    /// release can never underflow).
+    pub fn release_slot(&self) {
+        let _ =
+            self.in_flight.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// Requests currently in flight (admitted, not yet terminal).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Notes the registry version a request resolved at admission (keeps
+    /// the reported version fresh even if swaps bypass the server).
+    pub fn note_version(&self, version: u64) {
+        self.version.store(version, Ordering::Relaxed);
+    }
+
+    /// Records a hot swap to `new_version` against this model.
+    pub fn record_swap(&self, new_version: u64) {
+        self.version.store(new_version, Ordering::Relaxed);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self, name: String) -> ModelSnapshot {
         let buckets = self.latency.load_buckets();
         let completed = self.completed.load(Ordering::Relaxed);
@@ -302,8 +399,13 @@ impl ModelMetrics {
         ModelSnapshot {
             name,
             submitted: self.submitted.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            version: self.version.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
             mean_latency_us: if completed == 0 { 0.0 } else { sum_us as f64 / completed as f64 },
             p50_latency_us: percentile_upper_bound(&buckets, 0.50),
             p95_latency_us: percentile_upper_bound(&buckets, 0.95),
@@ -369,10 +471,21 @@ pub struct ModelSnapshot {
     pub name: String,
     /// Requests accepted into the queue for this model.
     pub submitted: u64,
+    /// Admissions rejected by this model's in-flight quota.
+    pub quota_rejected: u64,
+    /// Requests shed by the batcher (deadline expired before inference).
+    pub shed: u64,
     /// Requests answered successfully.
     pub completed: u64,
     /// Requests that failed in the datapath.
     pub failed: u64,
+    /// Requests currently in flight (admitted, not yet terminal).
+    pub in_flight: u64,
+    /// Registry version at the latest admission or recorded swap (0
+    /// before any request resolved this model).
+    pub version: u64,
+    /// Hot swaps recorded against this model.
+    pub swaps: u64,
     /// Mean end-to-end latency in microseconds.
     pub mean_latency_us: f64,
     /// Median latency (bucket upper bound), microseconds.
@@ -396,12 +509,23 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Requests rejected by admission control (queue full).
     pub rejected: u64,
+    /// Requests rejected by a per-model in-flight quota.
+    pub quota_rejected: u64,
+    /// Requests shed by the batcher: their deadline expired before
+    /// inference started, so the datapath never ran for them. Every
+    /// admitted request ends in exactly one of `completed`, `failed` or
+    /// `shed` — after a drain, `completed + failed + shed == submitted`.
+    pub shed: u64,
     /// Requests answered successfully.
     pub completed: u64,
     /// Requests that failed in the datapath.
     pub failed: u64,
-    /// Items in the queue at snapshot time.
+    /// Items queued at snapshot time, summed across shards.
     pub queue_depth: usize,
+    /// Per-shard queue depths (one entry per shard, in shard order); the
+    /// aggregate `queue_depth` is their sum and shares the same single
+    /// clock sample as `uptime`/`throughput_rps`.
+    pub shard_depths: Vec<usize>,
     /// Completed requests per second since start-up.
     pub throughput_rps: f64,
     /// Mean end-to-end latency in microseconds.
@@ -475,8 +599,9 @@ impl MetricsSnapshot {
     /// feature sets (see README "Metrics & capacity tuning" and
     /// "Flight-recorder tracing" for field semantics):
     ///
-    /// * the global counters and `latency_us`/`batch_histogram`, as
-    ///   before;
+    /// * the global counters (now including `quota_rejected` and `shed`),
+    ///   `shard_depths` (per-shard queue depths) and
+    ///   `latency_us`/`batch_histogram`, as before;
     /// * `stages` — `queue_wait`/`infer`/`respond`, each
     ///   `{count, mean, p50, p95, p99}` (µs);
     /// * `models` — name-keyed object, one entry per served model with
@@ -496,14 +621,21 @@ impl MetricsSnapshot {
                 let mh: Vec<String> = m.batch_histogram.iter().map(u64::to_string).collect();
                 format!(
                     concat!(
-                        "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                        "\"{}\":{{\"submitted\":{},\"quota_rejected\":{},\"shed\":{},",
+                        "\"completed\":{},\"failed\":{},\"in_flight\":{},",
+                        "\"version\":{},\"swaps\":{},",
                         "\"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},",
                         "\"p99\":{:.1}}},\"batch_histogram\":[{}]}}"
                     ),
                     json_escape(&m.name),
                     m.submitted,
+                    m.quota_rejected,
+                    m.shed,
                     m.completed,
                     m.failed,
+                    m.in_flight,
+                    m.version,
+                    m.swaps,
                     m.mean_latency_us,
                     m.p50_latency_us,
                     m.p95_latency_us,
@@ -512,10 +644,13 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
+        let depths: Vec<String> = self.shard_depths.iter().map(usize::to_string).collect();
         format!(
             concat!(
                 "{{\"uptime_s\":{:.3},\"submitted\":{},\"rejected\":{},",
+                "\"quota_rejected\":{},\"shed\":{},",
                 "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
+                "\"shard_depths\":[{}],",
                 "\"throughput_rps\":{:.2},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
                 "\"batch_histogram\":[{}],",
@@ -532,9 +667,12 @@ impl MetricsSnapshot {
             self.uptime.as_secs_f64(),
             self.submitted,
             self.rejected,
+            self.quota_rejected,
+            self.shed,
             self.completed,
             self.failed,
             self.queue_depth,
+            depths.join(","),
             self.throughput_rps,
             self.mean_latency_us,
             self.p50_latency_us,
@@ -633,6 +771,81 @@ mod tests {
         // reported uptime — the two fields come from one clock sample.
         let expected = s.completed as f64 / s.uptime.as_secs_f64().max(1e-9);
         assert_eq!(s.throughput_rps, expected);
+    }
+
+    #[test]
+    fn sharded_snapshot_merges_depths_and_keeps_one_clock_sample() {
+        let m = ServerMetrics::new(1);
+        for _ in 0..500 {
+            m.record_completed(Duration::from_micros(10));
+        }
+        // The regression this pins: merging per-shard depths must not
+        // introduce a second `elapsed()` sample — uptime and throughput
+        // still agree exactly, for any number of shards.
+        for depths in [vec![0usize], vec![3, 0, 7], vec![1, 2, 3, 4, 5, 6, 7, 8]] {
+            let s = m.snapshot_sharded(&depths);
+            assert_eq!(s.shard_depths, depths);
+            assert_eq!(s.queue_depth, depths.iter().sum::<usize>());
+            let expected = s.completed as f64 / s.uptime.as_secs_f64().max(1e-9);
+            assert_eq!(
+                s.throughput_rps, expected,
+                "shard-merged snapshot must sample elapsed() exactly once"
+            );
+        }
+        // The single-queue entry is the 1-shard special case.
+        let s = m.snapshot(5);
+        assert_eq!(s.shard_depths, vec![5]);
+        assert_eq!(s.queue_depth, 5);
+    }
+
+    #[test]
+    fn shed_and_quota_counters_accumulate() {
+        let m = ServerMetrics::new(2);
+        m.record_shed();
+        m.record_shed();
+        m.record_quota_rejected();
+        let mm = m.model("tiny");
+        mm.record_shed();
+        mm.record_quota_rejected();
+        let s = m.snapshot(0);
+        assert_eq!((s.shed, s.quota_rejected), (2, 1));
+        assert_eq!((s.models[0].shed, s.models[0].quota_rejected), (1, 1));
+        let json = s.to_json();
+        assert!(json.contains("\"shed\":2"), "{json}");
+        assert!(json.contains("\"quota_rejected\":1"), "{json}");
+        assert!(json.contains("\"shard_depths\":[0]"), "{json}");
+    }
+
+    #[test]
+    fn quota_slots_gate_and_release() {
+        let mm = ModelMetrics::new(1);
+        assert!(mm.try_acquire_slot(Some(2)));
+        assert!(mm.try_acquire_slot(Some(2)));
+        assert!(!mm.try_acquire_slot(Some(2)), "third slot must be refused at quota 2");
+        assert_eq!(mm.in_flight(), 2);
+        mm.release_slot();
+        assert!(mm.try_acquire_slot(Some(2)));
+        // Unlimited admission still counts in-flight.
+        assert!(mm.try_acquire_slot(None));
+        assert_eq!(mm.in_flight(), 3);
+        for _ in 0..10 {
+            mm.release_slot(); // saturating: never underflows
+        }
+        assert_eq!(mm.in_flight(), 0);
+    }
+
+    #[test]
+    fn versions_and_swaps_are_reported() {
+        let m = ServerMetrics::new(1);
+        let mm = m.model("hot");
+        mm.note_version(1);
+        mm.record_swap(2);
+        mm.record_swap(3);
+        let s = m.snapshot(0);
+        assert_eq!((s.models[0].version, s.models[0].swaps), (3, 2));
+        let json = s.to_json();
+        assert!(json.contains("\"version\":3"), "{json}");
+        assert!(json.contains("\"swaps\":2"), "{json}");
     }
 
     #[test]

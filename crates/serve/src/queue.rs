@@ -21,11 +21,27 @@ pub enum PushRejection {
 
 struct Inner<T> {
     items: VecDeque<T>,
+    /// The latency-sensitive lane: popped before `items`, dispatched
+    /// without the linger window so priority requests never wait on a
+    /// throughput batch forming around them.
+    priority: VecDeque<T>,
     closed: bool,
 }
 
-/// A bounded MPMC queue with non-blocking producers and batch-popping
-/// consumers.
+impl<T> Inner<T> {
+    fn len(&self) -> usize {
+        self.items.len() + self.priority.len()
+    }
+}
+
+/// A bounded MPMC queue with non-blocking producers, batch-popping
+/// consumers and a priority lane.
+///
+/// The capacity bound covers both lanes together (one admission-control
+/// budget), but consumers always drain the priority lane first — and a
+/// priority pop returns immediately instead of lingering to coalesce,
+/// which is what makes the lane useful for latency-sensitive batch-1
+/// requests.
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
@@ -41,7 +57,11 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         BoundedQueue {
-            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                priority: VecDeque::new(),
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             capacity,
         }
@@ -52,9 +72,9 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Items currently queued.
+    /// Items currently queued (both lanes).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner.lock().expect("queue poisoned").len()
     }
 
     /// Whether the queue is currently empty.
@@ -71,36 +91,73 @@ impl<T> BoundedQueue<T> {
     /// after [`BoundedQueue::close`].
     #[allow(clippy::result_large_err)] // rejection intentionally returns the item
     pub fn try_push(&self, item: T) -> Result<(), (T, PushRejection)> {
+        self.push_lane(item, false)
+    }
+
+    /// [`BoundedQueue::try_push`] into the priority lane: the item is
+    /// popped before any normal-lane item, and the consumer that takes it
+    /// returns immediately instead of lingering for a batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`BoundedQueue::try_push`] — both lanes share one capacity.
+    #[allow(clippy::result_large_err)] // rejection intentionally returns the item
+    pub fn try_push_priority(&self, item: T) -> Result<(), (T, PushRejection)> {
+        self.push_lane(item, true)
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn push_lane(&self, item: T, priority: bool) -> Result<(), (T, PushRejection)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err((item, PushRejection::Closed));
         }
-        if inner.items.len() >= self.capacity {
+        if inner.len() >= self.capacity {
             return Err((item, PushRejection::Full));
         }
-        inner.items.push_back(item);
+        if priority {
+            inner.priority.push_back(item);
+        } else {
+            inner.items.push_back(item);
+        }
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
     }
 
     /// Pops a batch: blocks until at least one item is available (or the
-    /// queue is closed *and* drained, returning `None`), then keeps
-    /// coalescing until the batch holds `max` items or `max_wait` has
-    /// elapsed since the first pop.
+    /// queue is closed *and* drained, returning `None`).
+    ///
+    /// Priority-lane items win: if any are queued, up to `max` of them
+    /// are returned **immediately** — no linger window — so a
+    /// latency-sensitive request never waits for a throughput batch to
+    /// form. Otherwise the consumer pops normal-lane items and keeps
+    /// coalescing until the batch holds `max` items, `max_wait` has
+    /// elapsed since the first pop, or a priority item arrives (the
+    /// in-progress batch dispatches at once so the next pop can take the
+    /// priority item without waiting out the linger).
     ///
     /// After `close()`, queued items keep being returned until the queue
     /// drains — shutdown is graceful, not lossy.
     pub fn pop_batch(&self, max: usize, max_wait: Duration) -> Option<Vec<T>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if !inner.items.is_empty() {
+            if inner.len() > 0 {
                 break;
             }
             if inner.closed {
                 return None;
             }
             inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+        if !inner.priority.is_empty() {
+            let take = max.max(1).min(inner.priority.len());
+            let batch: Vec<T> = inner.priority.drain(..take).collect();
+            if inner.len() > 0 {
+                drop(inner);
+                self.not_empty.notify_one();
+            }
+            return Some(batch);
         }
         let mut batch = Vec::with_capacity(max.min(inner.items.len()));
         let deadline = Instant::now() + max_wait;
@@ -111,7 +168,7 @@ impl<T> BoundedQueue<T> {
                     None => break,
                 }
             }
-            if batch.len() >= max || inner.closed {
+            if batch.len() >= max || inner.closed || !inner.priority.is_empty() {
                 break;
             }
             let now = Instant::now();
@@ -125,9 +182,10 @@ impl<T> BoundedQueue<T> {
                 break;
             }
         }
-        // Items may remain (batch clipped at `max`): pass the baton so
-        // sibling consumers do not sleep on a non-empty queue.
-        if !inner.items.is_empty() {
+        // Items may remain (batch clipped at `max`, or a priority arrival
+        // cut the linger short): pass the baton so sibling consumers do
+        // not sleep on a non-empty queue.
+        if inner.len() > 0 {
             drop(inner);
             self.not_empty.notify_one();
         }
@@ -220,5 +278,57 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = BoundedQueue::<i32>::new(0);
+    }
+
+    #[test]
+    fn priority_items_pop_first_and_do_not_linger() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push_priority(10).unwrap();
+        // Even with a generous linger, the priority item returns alone and
+        // immediately (a stuck linger here would hang the test).
+        let started = Instant::now();
+        let batch = q.pop_batch(8, Duration::from_secs(30)).unwrap();
+        assert_eq!(batch, vec![10]);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        // The normal lane is intact and still coalesces.
+        let rest = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn both_lanes_share_one_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push_priority(2).unwrap();
+        assert_eq!(q.len(), 2);
+        let (_, why) = q.try_push(3).unwrap_err();
+        assert_eq!(why, PushRejection::Full);
+        let (_, why) = q.try_push_priority(4).unwrap_err();
+        assert_eq!(why, PushRejection::Full);
+    }
+
+    #[test]
+    fn priority_arrival_cuts_a_linger_short() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            q2.try_push_priority(9).unwrap();
+        });
+        // The consumer starts a long linger on the normal item; the
+        // priority arrival must dispatch the in-progress batch at once
+        // (a 30 s linger that ran to completion would hang the test). If
+        // the producer wins the race outright, the priority item simply
+        // pops first — either way the two items must arrive in two
+        // separate batches, never coalesced across lanes.
+        let first = q.pop_batch(8, Duration::from_secs(30)).unwrap();
+        producer.join().unwrap();
+        let second = q.pop_batch(8, Duration::from_secs(30)).unwrap();
+        let mut seen = [first, second];
+        seen.sort();
+        assert_eq!(seen, [vec![1], vec![9]]);
     }
 }

@@ -116,13 +116,27 @@ impl From<Ensemble> for ServedModel {
     }
 }
 
-/// A concurrent name → model map.
+/// One registry slot: the served model plus a monotonically increasing
+/// version, bumped on every replacement (register-over or
+/// [`ModelRegistry::swap`]).
+#[derive(Debug, Clone)]
+struct Entry {
+    model: ServedModel,
+    version: u64,
+}
+
+/// A concurrent, versioned name → model map.
 ///
 /// Reads (every request admission) take a shared lock; writes
-/// (register/remove, rare) take it exclusively.
+/// (register/swap/remove, rare) take it exclusively. Replacing a model is
+/// an `Arc` flip: in-flight requests hold the `Arc` they resolved at
+/// admission and drain on the old weights, new admissions see the new
+/// ones — there is no moment where a request can observe half of each
+/// (the batcher additionally groups by `Arc` identity, so one batch never
+/// mixes two versions).
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    models: RwLock<HashMap<String, ServedModel>>,
+    models: RwLock<HashMap<String, Entry>>,
 }
 
 impl ModelRegistry {
@@ -133,9 +147,49 @@ impl ModelRegistry {
 
     /// Registers (or replaces) a model under `name`. Accepts a
     /// [`QuantizedNet`], an [`Ensemble`] or an existing [`ServedModel`].
-    /// Returns the previous occupant, if any.
+    /// Returns the previous occupant, if any. A fresh name starts at
+    /// version 1; replacing bumps the version (like
+    /// [`ModelRegistry::swap`], which additionally *requires* the name to
+    /// exist).
     pub fn register(&self, name: &str, model: impl Into<ServedModel>) -> Option<ServedModel> {
-        self.models.write().expect("registry poisoned").insert(name.to_string(), model.into())
+        let model = model.into();
+        let mut map = self.models.write().expect("registry poisoned");
+        match map.get_mut(name) {
+            Some(entry) => {
+                entry.version += 1;
+                Some(std::mem::replace(&mut entry.model, model))
+            }
+            None => {
+                map.insert(name.to_string(), Entry { model, version: 1 });
+                None
+            }
+        }
+    }
+
+    /// Zero-downtime hot swap: atomically replaces the model behind
+    /// `name` and bumps its version, returning `(old_model, new_version)`.
+    /// Admissions racing the swap get either the old or the new `Arc`,
+    /// never a torn mix; in-flight batches drain on the old weights.
+    ///
+    /// Unlike [`ModelRegistry::register`], swapping an unregistered name
+    /// is an error — a swap is an *update*, and a typo must not silently
+    /// create a second model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not
+    /// registered.
+    pub fn swap(&self, name: &str, model: impl Into<ServedModel>) -> Result<(ServedModel, u64)> {
+        let model = model.into();
+        let mut map = self.models.write().expect("registry poisoned");
+        match map.get_mut(name) {
+            Some(entry) => {
+                entry.version += 1;
+                let old = std::mem::replace(&mut entry.model, model);
+                Ok((old, entry.version))
+            }
+            None => Err(ServeError::UnknownModel(name.to_string())),
+        }
     }
 
     /// Looks up a model by name.
@@ -144,12 +198,34 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::UnknownModel`] when absent.
     pub fn get(&self, name: &str) -> Result<ServedModel> {
-        self.models
-            .read()
-            .expect("registry poisoned")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+        self.get_versioned(name).map(|(model, _)| model)
+    }
+
+    /// Looks up a model by name together with its current version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when absent.
+    pub fn get_versioned(&self, name: &str) -> Result<(ServedModel, u64)> {
+        let map = self.models.read().expect("registry poisoned");
+        let entry =
+            map.get(name).cloned().ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        // Fault injection (test builds only): widen the window in which a
+        // reader holds the shared lock, so the mid-swap interleaving is
+        // reliably exercised.
+        crate::fault::on_registry_read();
+        drop(map);
+        Ok((entry.model, entry.version))
+    }
+
+    /// The current version of `name` (1 for a fresh registration,
+    /// bumped on every replacement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when absent.
+    pub fn version(&self, name: &str) -> Result<u64> {
+        self.get_versioned(name).map(|(_, version)| version)
     }
 
     /// Maps a multi-model zoo image (see `mfdfp_core::image`) into the
@@ -227,8 +303,11 @@ mod tests {
         let reg = ModelRegistry::new();
         assert!(reg.is_empty());
         assert!(matches!(reg.get("nope"), Err(ServeError::UnknownModel(n)) if n == "nope"));
+        assert!(matches!(reg.version("nope"), Err(ServeError::UnknownModel(_))));
     }
 
-    // Registration/lookup against real QuantizedNets is exercised in
-    // tests/serving.rs, which builds tiny calibrated networks.
+    // Registration/lookup/versioning against real QuantizedNets is
+    // exercised in tests/serving.rs (version lineage) and tests/chaos.rs
+    // (Arc-flip hot swap under concurrent traffic), which build tiny
+    // calibrated networks.
 }

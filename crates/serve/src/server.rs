@@ -1,25 +1,33 @@
-//! The serving runtime: admission control → bounded queue → micro-batcher
-//! worker pool → batched integer inference → per-request responses.
+//! The serving runtime: admission control → shard routing → bounded
+//! queues → micro-batcher worker pools → batched integer inference →
+//! per-request responses.
 
-use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mfdfp_tensor::{Tensor, Workspace};
+use mfdfp_tensor::Tensor;
 
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
+use crate::fault;
 use crate::metrics::{MetricsSnapshot, ModelMetrics, ServerMetrics};
-use crate::queue::{BoundedQueue, PushRejection};
+use crate::queue::PushRejection;
 use crate::registry::{ModelRegistry, ServedModel};
+use crate::shard::Shard;
 
 /// A finished inference answer.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Name of the model that served the request.
     pub model: String,
+    /// Registry version of the model that served the request (1 for a
+    /// fresh registration, bumped on every replacement/hot swap). Under a
+    /// concurrent [`Server::swap_model`] this tells the caller *which*
+    /// weights answered: always exactly one version's, never a mix.
+    pub version: u64,
     /// Dequantized logits (`classes` values) — byte-identical to a direct
     /// [`mfdfp_core::QuantizedNet::logits`] call on the same input.
     pub logits: Tensor,
@@ -49,74 +57,93 @@ impl Ticket {
     }
 }
 
+/// Scheduling class of a submission (see [`SubmitOptions::priority`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Throughput lane: coalesces into micro-batches under the normal
+    /// `max_batch`/`max_wait` policy.
+    #[default]
+    Normal,
+    /// Latency lane: bypasses batch coalescing — a worker that finds
+    /// priority work dispatches it immediately without lingering, and a
+    /// priority arrival cuts an open linger window short.
+    High,
+}
+
+/// Per-request admission options for [`Server::submit_with`].
+///
+/// `Default` reproduces [`Server::submit`]: no deadline, normal priority.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Time budget from admission. A request still queued when its budget
+    /// expires is *shed*: answered with [`ServeError::DeadlineExceeded`]
+    /// at batch formation, before any datapath time is spent on it, and
+    /// counted in the `shed` metrics. `None` never sheds.
+    pub deadline: Option<Duration>,
+    /// Scheduling class; see [`Priority`].
+    pub priority: Priority,
+}
+
 /// One queued unit of work. The model is resolved at admission so workers
 /// skip the registry and removal cannot strand in-flight requests; the
 /// per-model metrics series rides along the same way, so workers never
 /// touch the name-keyed metrics map either.
-struct Request {
-    model_name: String,
-    model: ServedModel,
-    metrics_model: Arc<ModelMetrics>,
-    image: Tensor,
-    submitted: Instant,
+pub(crate) struct Request {
+    pub(crate) model_name: String,
+    pub(crate) model: ServedModel,
+    pub(crate) version: u64,
+    pub(crate) metrics_model: Arc<ModelMetrics>,
+    pub(crate) image: Tensor,
+    pub(crate) submitted: Instant,
     /// Flight-recorder timestamp of admission (0 without `obs`), so the
     /// exported trace can show each request's queue-wait span.
-    submitted_ns: u64,
-    tx: mpsc::Sender<Result<Response>>,
+    pub(crate) submitted_ns: u64,
+    /// Absolute shed deadline (admission time + the caller's budget).
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) tx: mpsc::Sender<Result<Response>>,
 }
 
-/// A multi-threaded dynamic-batching inference server over a
+/// A sharded, multi-threaded dynamic-batching inference server over a
 /// [`ModelRegistry`].
 ///
-/// Lifecycle: [`Server::start`] spawns the worker pool; [`Server::submit`]
-/// performs admission control and enqueues; workers coalesce requests into
-/// batches (bounded by `max_batch` / `max_wait`) and dispatch them through
-/// the batched integer datapath; [`Server::shutdown`] (or drop) closes the
-/// queue, drains it and joins the workers.
+/// Lifecycle: [`Server::start`] spawns `shards × workers` worker threads
+/// across [`ServeConfig::shards`] independent queue+pool units;
+/// [`Server::submit`] / [`Server::submit_with`] perform admission control
+/// (model resolution, input validation, per-model quota) and route to
+/// `hash(model) % shards`; workers coalesce requests into batches
+/// (bounded by `max_batch` / `max_wait`), shed the ones whose deadline
+/// already passed, and dispatch the rest through the batched integer
+/// datapath; [`Server::swap_model`] hot-swaps a model's weights with zero
+/// downtime; [`Server::shutdown`] (or drop) closes the queues, drains
+/// them and joins the workers.
 pub struct Server {
     registry: Arc<ModelRegistry>,
-    queue: Arc<BoundedQueue<Request>>,
+    shards: Vec<Shard>,
     metrics: Arc<ServerMetrics>,
-    workers: Vec<JoinHandle<()>>,
     config: ServeConfig,
 }
 
 impl Server {
-    /// Validates `config` and spawns the worker pool.
+    /// Validates `config` and spawns the per-shard worker pools.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] for invalid knobs.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Server> {
         config.validate()?;
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServerMetrics::new(config.max_batch));
-        let workers = (0..config.workers)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                let cfg = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("mfdfp-serve-{i}"))
-                    .spawn(move || worker_loop(&queue, &metrics, &cfg))
-                    .expect("failed to spawn serving worker")
-            })
-            .collect();
-        Ok(Server { registry, queue, metrics, workers, config })
+        let shards =
+            (0..config.shards).map(|id| Shard::start(id, &config, &metrics)).collect::<Vec<_>>();
+        Ok(Server { registry, shards, metrics, config })
     }
 
     /// Admits one inference request for `model` on a single image tensor
-    /// (`C×H×W`, or flat features for MLPs).
-    ///
-    /// Admission control runs *before* the queue: unknown models and
-    /// wrong-sized inputs are rejected without consuming capacity; a full
-    /// queue rejects with [`ServeError::QueueFull`] (backpressure — the
-    /// caller decides whether to retry, shed or block).
+    /// (`C×H×W`, or flat features for MLPs) with default options (no
+    /// deadline, normal priority) — see [`Server::submit_with`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownModel`], [`ServeError::BadInput`],
-    /// [`ServeError::QueueFull`] or [`ServeError::Closed`].
+    /// As [`Server::submit_with`].
     ///
     /// # Examples
     ///
@@ -145,13 +172,38 @@ impl Server {
     /// let ticket = server.submit("tiny", image.clone())?;   // admission + enqueue
     /// let response = ticket.wait()?;                        // blocks for the batch
     /// assert_eq!(response.model, "tiny");
+    /// assert_eq!(response.version, 1);
     /// assert_eq!(response.logits.as_slice(), qnet.logits(&image)?.as_slice());
     /// server.shutdown();
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket> {
+        self.submit_with(model, image, SubmitOptions::default())
+    }
+
+    /// Admits one inference request with explicit [`SubmitOptions`]
+    /// (deadline for load shedding, priority lane).
+    ///
+    /// Admission control runs *before* the queue: unknown models,
+    /// wrong-sized inputs and over-quota models are rejected without
+    /// consuming capacity; a full shard queue rejects with
+    /// [`ServeError::QueueFull`] (backpressure — the caller decides
+    /// whether to retry, shed or block). The model's `Arc` and registry
+    /// version are resolved here, so a concurrent
+    /// [`Server::swap_model`] never changes what an admitted request
+    /// computes on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::BadInput`],
+    /// [`ServeError::QuotaExceeded`], [`ServeError::QueueFull`] or
+    /// [`ServeError::Closed`].
+    pub fn submit_with(&self, model: &str, image: Tensor, opts: SubmitOptions) -> Result<Ticket> {
         let _span = mfdfp_obs::span!("serve.submit", image.len() as u64);
-        let resolved = self.registry.get(model)?;
+        let (resolved, version) = {
+            let _span = mfdfp_obs::span!("serve.route", self.shards.len() as u64);
+            self.registry.get_versioned(model)?
+        };
         if let Some(expected) = resolved.input_len() {
             if image.len() != expected {
                 return Err(ServeError::BadInput {
@@ -162,28 +214,78 @@ impl Server {
             }
         }
         let metrics_model = self.metrics.model(model);
+        metrics_model.note_version(version);
+        // Quota slot: held from admission to terminal answer (response,
+        // failure or shed), so `in_flight` counts queued + computing.
+        if !metrics_model.try_acquire_slot(self.config.model_quota) {
+            self.metrics.record_quota_rejected();
+            metrics_model.record_quota_rejected();
+            return Err(ServeError::QuotaExceeded {
+                model: model.to_string(),
+                quota: self.config.model_quota.unwrap_or(0),
+            });
+        }
+        let submitted = Instant::now();
         let (tx, rx) = mpsc::channel();
         let request = Request {
             model_name: model.to_string(),
             model: resolved,
+            version,
             metrics_model: Arc::clone(&metrics_model),
             image,
-            submitted: Instant::now(),
+            submitted,
             submitted_ns: mfdfp_obs::now_ns(),
+            deadline: opts.deadline.map(|d| submitted + d),
             tx,
         };
-        match self.queue.try_push(request) {
+        let shard = &self.shards[Self::route(model, self.shards.len())];
+        // Fault injection (test builds only): pretend the shard queue is
+        // at capacity to exercise the backpressure path deterministically.
+        let pushed = if fault::take_queue_full() {
+            Err((request, PushRejection::Full))
+        } else {
+            match opts.priority {
+                Priority::Normal => shard.queue().try_push(request),
+                Priority::High => shard.queue().try_push_priority(request),
+            }
+        };
+        match pushed {
             Ok(()) => {
                 self.metrics.record_submitted();
                 metrics_model.record_submitted();
                 Ok(Ticket { rx })
             }
             Err((_, PushRejection::Full)) => {
+                metrics_model.release_slot();
                 self.metrics.record_rejected();
-                Err(ServeError::QueueFull { capacity: self.queue.capacity() })
+                Err(ServeError::QueueFull { capacity: shard.queue().capacity() })
             }
-            Err((_, PushRejection::Closed)) => Err(ServeError::Closed),
+            Err((_, PushRejection::Closed)) => {
+                metrics_model.release_slot();
+                Err(ServeError::Closed)
+            }
         }
+    }
+
+    /// Hot-swaps the model behind `name` with zero downtime and returns
+    /// the new registry version.
+    ///
+    /// The swap is an `Arc` flip in the registry: requests admitted
+    /// before the flip drain on the old weights (the batcher groups by
+    /// `Arc` identity, so a batch never mixes versions), requests
+    /// admitted after it compute on the new ones, and every response
+    /// reports which via [`Response::version`]. The per-model metrics
+    /// record the version bump and count the swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not
+    /// registered (a swap is an update; a typo must not create a second
+    /// model).
+    pub fn swap_model(&self, name: &str, model: impl Into<ServedModel>) -> Result<u64> {
+        let (_old, version) = self.registry.swap(name, model)?;
+        self.metrics.model(name).record_swap(version);
+        Ok(version)
     }
 
     /// The registry this server draws models from.
@@ -196,9 +298,22 @@ impl Server {
         &self.config
     }
 
-    /// A point-in-time metrics view (including current queue depth).
+    /// A point-in-time metrics view: the global and per-model counters
+    /// plus every shard's current queue depth, all sampled against a
+    /// single clock read (see
+    /// [`ServerMetrics::snapshot_sharded`]).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.queue.len())
+        let depths: Vec<usize> = self.shards.iter().map(Shard::depth).collect();
+        self.metrics.snapshot_sharded(&depths)
+    }
+
+    /// Stable shard index for `model`: `hash(name) % shards`.
+    /// `DefaultHasher::new()` uses fixed keys, so the mapping is
+    /// deterministic across processes and runs.
+    fn route(model: &str, shards: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        model.hash(&mut hasher);
+        (hasher.finish() % shards as u64) as usize
     }
 
     /// Stops admissions, drains queued requests and joins the workers.
@@ -207,9 +322,11 @@ impl Server {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        for shard in &self.shards {
+            shard.close();
+        }
+        for shard in &mut self.shards {
+            shard.join();
         }
     }
 }
@@ -220,187 +337,20 @@ impl Drop for Server {
     }
 }
 
-/// Drains the queue until close-and-empty: pops coalesced batches, groups
-/// them per model, dispatches each group through the batched quantized
-/// forward, scatters responses.
-///
-/// With the `parallel` feature, each per-model group is submitted to the
-/// shared `mfdfp-rt` pool as one task instead of running unconditionally
-/// on this worker thread: inference executes on the same persistent
-/// threads the GEMM/conv kernels fan out on (no per-call thread
-/// spawning anywhere in the dispatch), and multi-model batches run
-/// their groups concurrently. The scope owner helps execute its own
-/// tasks while it waits — a single-group batch typically runs on the
-/// submitting worker itself (an idle pool worker may win the claim
-/// first, at the cost of one hand-off), and a waiting serve worker is
-/// itself a compute lane: the process computes on at most
-/// `serve workers + pool width − 1` threads (see README "Threading
-/// model" for sizing guidance). Without the feature, groups run inline
-/// and the pool is never engaged.
-fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
-    loop {
-        // Batch formation spans the blocking pop + linger window, so the
-        // trace shows how long each worker spent coalescing vs idle.
-        let formed_from = mfdfp_obs::now_ns();
-        let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) else {
-            break;
-        };
-        mfdfp_obs::record_complete(
-            "serve.batch_form",
-            batch.len() as u64,
-            formed_from,
-            mfdfp_obs::now_ns(),
-        );
-        let groups = partition_by_model(batch);
-        run_groups(groups, metrics);
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-#[cfg(not(feature = "parallel"))]
-fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
-    for group in groups {
-        dispatch_group(group, metrics);
-    }
-}
-
-#[cfg(feature = "parallel")]
-fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
-    mfdfp_rt::global().scope(|scope| {
-        for group in groups {
-            scope.spawn(move || dispatch_group(group, metrics));
-        }
-    });
-}
-
-/// Splits a popped batch into per-model groups, preserving arrival order
-/// within each group. Grouping keys on the resolved model's allocation
-/// identity (not its name, so a name re-registered mid-queue never mixes
-/// two different networks into one batch) *and* the image element count,
-/// so two same-length-checked but differently-sized inputs — possible
-/// when a model exposes no `input_len` — can never misalign one batch.
-fn partition_by_model(batch: Vec<Request>) -> Vec<Vec<Request>> {
-    let mut groups: Vec<((usize, usize), Vec<Request>)> = Vec::new();
-    for request in batch {
-        let key = (request.model.identity(), request.image.len());
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, group)) => group.push(request),
-            None => groups.push((key, vec![request])),
-        }
-    }
-    groups.into_iter().map(|(_, g)| g).collect()
-}
-
-/// Per-worker dispatch scratch: the flattened input batch, the logits
-/// output row-block (both grow-only) and the worker's own inference
-/// [`Workspace`]. Owning the workspace here — rather than borrowing the
-/// shared per-thread one — keeps that thread-level workspace free for
-/// image-chunk tasks the pool may hand back to this same thread under
-/// the `parallel` feature (the rt help-first protocol), so a warmed
-/// dispatch's inference performs zero heap allocations on every path;
-/// only the per-request response materialisation (one logits `Tensor`
-/// per ticket, the channel send) still allocates, because those buffers
-/// leave the worker with the response.
-#[derive(Default)]
-struct WorkerScratch {
-    data: Vec<f32>,
-    logits: Vec<f32>,
-    ws: Workspace,
-}
-
-thread_local! {
-    /// One staging scratch per worker thread — dispatch runs either on a
-    /// serving worker (serial build) or on a persistent pool thread
-    /// (`parallel` feature), and both live as long as the process.
-    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
-}
-
-/// Runs `f` with the calling thread's persistent staging scratch; falls
-/// back to a fresh scratch if the thread is already dispatching (a pool
-/// thread helping with a stolen dispatch task while its own inference
-/// scope waits).
-fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
-    WORKER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut WorkerScratch::default()),
-    })
-}
-
-/// Runs one same-model group as a single batched inference and answers
-/// every member. Inference faults fan the error out to the whole group.
-///
-/// The batch is assembled flat (`N×len` — the integer datapath reads raw
-/// element slices, so per-image shape is irrelevant): requests that were
-/// admitted with equal element counts but different shapes, e.g. `[768]`
-/// next to `[3,16,16]`, batch together instead of poisoning each other.
-/// Staging and inference scratch come from the worker's persistent
-/// buffers ([`WorkerScratch`] + the thread workspace), so a warmed
-/// worker's steady-state compute performs zero heap allocations.
-fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
-    let dispatched = Instant::now();
-    let dispatched_ns = mfdfp_obs::now_ns();
-    metrics.record_batch(group.len());
-    group[0].metrics_model.record_batch(group.len());
-    for request in &group {
-        // `duration_since` saturates to zero, so a clock read that lands
-        // between two threads' samples can never panic the worker.
-        metrics.record_queue_wait(dispatched.duration_since(request.submitted));
-        mfdfp_obs::record_complete(
-            "serve.queue_wait",
-            group.len() as u64,
-            request.submitted_ns,
-            dispatched_ns,
-        );
-    }
-    let model = group[0].model.clone();
-    let batch_size = group.len();
-    let classes = model.classes();
-    with_worker_scratch(|scratch| {
-        scratch.data.clear();
-        for request in &group {
-            scratch.data.extend_from_slice(request.image.as_slice());
-        }
-        scratch.logits.resize(batch_size * classes, 0.0);
-        // Size the inference workspace for the batch-fused forward (the
-        // whole batch runs as one interleaved layer loop, so activation
-        // and im2col staging scale by the batch). `reserve` on a warmed
-        // workspace is a no-op, so steady-state dispatch stays
-        // allocation-free.
-        scratch.ws.reserve(&model.plan_for_batch(batch_size));
-        let infer_started = Instant::now();
-        let inference = {
-            let _span = mfdfp_obs::span!("serve.infer", batch_size as u64);
-            model.logits_batch_into(&scratch.data, batch_size, &mut scratch.ws, &mut scratch.logits)
-        };
-        metrics.record_infer(infer_started.elapsed());
-        match inference {
-            Ok(()) => {
-                let respond_started = Instant::now();
-                let _span = mfdfp_obs::span!("serve.respond", batch_size as u64);
-                for (row, request) in scratch.logits.chunks(classes).zip(group) {
-                    let latency = request.submitted.elapsed();
-                    request.metrics_model.record_completed(latency);
-                    let logits = Tensor::from_slice(row);
-                    let response = Response {
-                        model: request.model_name,
-                        class: logits.argmax(),
-                        logits,
-                        batch_size,
-                        latency,
-                    };
-                    metrics.record_completed(response.latency);
-                    // A dropped Ticket is not an error; the work is done.
-                    let _ = request.tx.send(Ok(response));
-                }
-                metrics.record_respond(respond_started.elapsed());
-            }
-            Err(e) => {
-                let err = ServeError::Inference(e);
-                for request in group {
-                    let _ = request.tx.send(Err(err.clone()));
-                    metrics.record_failed();
-                    request.metrics_model.record_failed();
-                }
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in 1..=8 {
+            for name in ["a", "mnist", "cifar10", "svhn", "zoo/model-17"] {
+                let first = Server::route(name, shards);
+                assert!(first < shards);
+                assert_eq!(first, Server::route(name, shards));
             }
         }
-    });
+        // One shard takes everything.
+        assert_eq!(Server::route("anything", 1), 0);
+    }
 }

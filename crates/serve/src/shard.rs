@@ -1,0 +1,325 @@
+//! Worker shards: each shard is an independent (bounded queue +
+//! micro-batcher worker pool) unit.
+//!
+//! The server routes a request to `hash(model name) % shards`, so two
+//! independent models never contend on one queue and a slow model cannot
+//! convoy a fast one. Inside a shard the pipeline is the PR-2
+//! micro-batcher, extended with admission-control semantics:
+//!
+//! * **deadline shedding** — after popping a batch, the worker drops
+//!   every request whose deadline already expired (typed
+//!   [`ServeError::DeadlineExceeded`], counted in the `shed` metrics)
+//!   *before* spending datapath time on it;
+//! * **panic containment** — inference runs under `catch_unwind`; a
+//!   panicking dispatch answers its whole batch with
+//!   [`ServeError::WorkerPanic`] and the worker thread survives (no lock
+//!   is held across the unwind, so nothing is poisoned);
+//! * **priority lane** — the queue's priority lane is popped first and
+//!   dispatched immediately (see
+//!   [`BoundedQueue::pop_batch`](crate::BoundedQueue::pop_batch)).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mfdfp_tensor::{Tensor, Workspace};
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::fault;
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+use crate::server::{Request, Response};
+
+/// One independent queue + worker-pool unit of a sharded server.
+pub(crate) struct Shard {
+    queue: Arc<BoundedQueue<Request>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawns the shard's worker pool over a fresh bounded queue.
+    pub(crate) fn start(id: usize, config: &ServeConfig, metrics: &Arc<ServerMetrics>) -> Shard {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let workers = (0..config.workers)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(metrics);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("mfdfp-serve-{id}.{w}"))
+                    .spawn(move || worker_loop(&queue, &metrics, &cfg))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        Shard { queue, workers }
+    }
+
+    /// The shard's request queue (admission pushes into it).
+    pub(crate) fn queue(&self) -> &BoundedQueue<Request> {
+        &self.queue
+    }
+
+    /// Items currently queued on this shard.
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admissions into this shard.
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Joins the shard's workers (the queue must already be closed).
+    pub(crate) fn join(&mut self) {
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Drains the queue until close-and-empty: pops coalesced batches, sheds
+/// expired requests, groups the rest per model, dispatches each group
+/// through the batched quantized forward, scatters responses.
+///
+/// With the `parallel` feature, each per-model group is submitted to the
+/// shared `mfdfp-rt` pool as one task instead of running unconditionally
+/// on this worker thread: inference executes on the same persistent
+/// threads the GEMM/conv kernels fan out on (no per-call thread
+/// spawning anywhere in the dispatch), and multi-model batches run
+/// their groups concurrently. The scope owner helps execute its own
+/// tasks while it waits — a single-group batch typically runs on the
+/// submitting worker itself (an idle pool worker may win the claim
+/// first, at the cost of one hand-off), and a waiting serve worker is
+/// itself a compute lane: the process computes on at most
+/// `shards × workers + pool width − 1` threads (see README "Threading
+/// model" for sizing guidance). Without the feature, groups run inline
+/// and the pool is never engaged.
+fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
+    loop {
+        // Batch formation spans the blocking pop + linger window, so the
+        // trace shows how long each worker spent coalescing vs idle.
+        let formed_from = mfdfp_obs::now_ns();
+        let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) else {
+            break;
+        };
+        mfdfp_obs::record_complete(
+            "serve.batch_form",
+            batch.len() as u64,
+            formed_from,
+            mfdfp_obs::now_ns(),
+        );
+        let batch = shed_expired(batch, metrics);
+        if batch.is_empty() {
+            continue;
+        }
+        let groups = partition_by_model(batch);
+        run_groups(groups, metrics);
+    }
+}
+
+/// Deadline-based load shedding: requests whose deadline passed while
+/// they queued are answered with [`ServeError::DeadlineExceeded`] and
+/// counted in the `shed` metrics — the datapath never runs for them.
+/// One clock sample judges the whole batch, so a batch's shed decisions
+/// are mutually consistent.
+fn shed_expired(batch: Vec<Request>, metrics: &ServerMetrics) -> Vec<Request> {
+    let now = Instant::now();
+    if batch.iter().all(|r| r.deadline.is_none_or(|d| d > now)) {
+        return batch;
+    }
+    let shed_from = mfdfp_obs::now_ns();
+    let mut live = Vec::with_capacity(batch.len());
+    let mut shed = 0u64;
+    for request in batch {
+        match request.deadline {
+            Some(d) if d <= now => {
+                metrics.record_shed();
+                request.metrics_model.record_shed();
+                request.metrics_model.release_slot();
+                let err = ServeError::DeadlineExceeded { model: request.model_name.clone() };
+                let _ = request.tx.send(Err(err));
+                shed += 1;
+            }
+            _ => live.push(request),
+        }
+    }
+    mfdfp_obs::record_complete("serve.shed", shed, shed_from, mfdfp_obs::now_ns());
+    live
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
+    for group in groups {
+        dispatch_group(group, metrics);
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_groups(groups: Vec<Vec<Request>>, metrics: &ServerMetrics) {
+    mfdfp_rt::global().scope(|scope| {
+        for group in groups {
+            scope.spawn(move || dispatch_group(group, metrics));
+        }
+    });
+}
+
+/// Splits a popped batch into per-model groups, preserving arrival order
+/// within each group. Grouping keys on the resolved model's allocation
+/// identity (not its name, so a name re-registered or hot-swapped
+/// mid-queue never mixes two different networks — or two versions of one
+/// network — into one batch) *and* the image element count, so two
+/// same-length-checked but differently-sized inputs — possible when a
+/// model exposes no `input_len` — can never misalign one batch.
+fn partition_by_model(batch: Vec<Request>) -> Vec<Vec<Request>> {
+    let mut groups: Vec<((usize, usize), Vec<Request>)> = Vec::new();
+    for request in batch {
+        let key = (request.model.identity(), request.image.len());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(request),
+            None => groups.push((key, vec![request])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Per-worker dispatch scratch: the flattened input batch, the logits
+/// output row-block (both grow-only) and the worker's own inference
+/// [`Workspace`]. Owning the workspace here — rather than borrowing the
+/// shared per-thread one — keeps that thread-level workspace free for
+/// image-chunk tasks the pool may hand back to this same thread under
+/// the `parallel` feature (the rt help-first protocol), so a warmed
+/// dispatch's inference performs zero heap allocations on every path;
+/// only the per-request response materialisation (one logits `Tensor`
+/// per ticket, the channel send) still allocates, because those buffers
+/// leave the worker with the response.
+#[derive(Default)]
+struct WorkerScratch {
+    data: Vec<f32>,
+    logits: Vec<f32>,
+    ws: Workspace,
+}
+
+thread_local! {
+    /// One staging scratch per worker thread — dispatch runs either on a
+    /// serving worker (serial build) or on a persistent pool thread
+    /// (`parallel` feature), and both live as long as the process.
+    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// Runs `f` with the calling thread's persistent staging scratch; falls
+/// back to a fresh scratch if the thread is already dispatching (a pool
+/// thread helping with a stolen dispatch task while its own inference
+/// scope waits).
+fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+    WORKER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut WorkerScratch::default()),
+    })
+}
+
+/// Runs one same-model group as a single batched inference and answers
+/// every member. Inference faults fan the error out to the whole group;
+/// a *panicking* dispatch is contained by `catch_unwind` and fans out
+/// [`ServeError::WorkerPanic`] instead — the worker thread survives and
+/// no lock is poisoned (nothing in this function holds a lock across
+/// the compute).
+///
+/// The batch is assembled flat (`N×len` — the integer datapath reads raw
+/// element slices, so per-image shape is irrelevant): requests that were
+/// admitted with equal element counts but different shapes, e.g. `[768]`
+/// next to `[3,16,16]`, batch together instead of poisoning each other.
+/// Staging and inference scratch come from the worker's persistent
+/// buffers ([`WorkerScratch`] + the thread workspace), so a warmed
+/// worker's steady-state compute performs zero heap allocations.
+fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
+    let dispatched = Instant::now();
+    let dispatched_ns = mfdfp_obs::now_ns();
+    metrics.record_batch(group.len());
+    group[0].metrics_model.record_batch(group.len());
+    for request in &group {
+        // `duration_since` saturates to zero, so a clock read that lands
+        // between two threads' samples can never panic the worker.
+        metrics.record_queue_wait(dispatched.duration_since(request.submitted));
+        mfdfp_obs::record_complete(
+            "serve.queue_wait",
+            group.len() as u64,
+            request.submitted_ns,
+            dispatched_ns,
+        );
+    }
+    let model = group[0].model.clone();
+    let batch_size = group.len();
+    let classes = model.classes();
+    // The compute half runs under `catch_unwind` so an injected (or
+    // real) panic degrades to a typed per-request error instead of
+    // killing the worker; the group itself stays outside the closure so
+    // its tickets can still be answered after an unwind.
+    let inference = with_worker_scratch(|scratch| {
+        catch_unwind(AssertUnwindSafe(|| {
+            fault::maybe_slow_batch();
+            fault::maybe_worker_panic();
+            scratch.data.clear();
+            for request in &group {
+                scratch.data.extend_from_slice(request.image.as_slice());
+            }
+            scratch.logits.resize(batch_size * classes, 0.0);
+            // Size the inference workspace for the batch-fused forward
+            // (the whole batch runs as one interleaved layer loop, so
+            // activation and im2col staging scale by the batch).
+            // `reserve` on a warmed workspace is a no-op, so
+            // steady-state dispatch stays allocation-free.
+            scratch.ws.reserve(&model.plan_for_batch(batch_size));
+            let infer_started = Instant::now();
+            let inference = {
+                let _span = mfdfp_obs::span!("serve.infer", batch_size as u64);
+                model.logits_batch_into(
+                    &scratch.data,
+                    batch_size,
+                    &mut scratch.ws,
+                    &mut scratch.logits,
+                )
+            };
+            metrics.record_infer(infer_started.elapsed());
+            inference.map(|()| scratch.logits.clone())
+        }))
+    });
+    match inference {
+        Ok(Ok(logits)) => {
+            let respond_started = Instant::now();
+            let _span = mfdfp_obs::span!("serve.respond", batch_size as u64);
+            for (row, request) in logits.chunks(classes).zip(group) {
+                let latency = request.submitted.elapsed();
+                request.metrics_model.record_completed(latency);
+                request.metrics_model.release_slot();
+                let logits = Tensor::from_slice(row);
+                let response = Response {
+                    model: request.model_name,
+                    version: request.version,
+                    class: logits.argmax(),
+                    logits,
+                    batch_size,
+                    latency,
+                };
+                metrics.record_completed(response.latency);
+                // A dropped Ticket is not an error; the work is done.
+                let _ = request.tx.send(Ok(response));
+            }
+            metrics.record_respond(respond_started.elapsed());
+        }
+        Ok(Err(e)) => fail_group(group, metrics, ServeError::Inference(e)),
+        Err(_panic) => fail_group(group, metrics, ServeError::WorkerPanic),
+    }
+}
+
+/// Answers every member of a group with `err` and records the failures.
+fn fail_group(group: Vec<Request>, metrics: &ServerMetrics, err: ServeError) {
+    for request in group {
+        let _ = request.tx.send(Err(err.clone()));
+        metrics.record_failed();
+        request.metrics_model.record_failed();
+        request.metrics_model.release_slot();
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of the HTTP/1.1 front-end over real loopback
+//! sockets: bit-exact inference round-trips, typed error statuses,
+//! deadline shedding as `504`, keep-alive, and the metrics/models
+//! endpoints.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mfdfp_core::{calibrate, QuantizedNet};
+use mfdfp_nn::zoo;
+use mfdfp_serve::http::{encode_request, format_f32_array, parse_f32_array};
+use mfdfp_serve::{HttpConfig, HttpServer, ModelRegistry, ServeConfig, Server};
+use mfdfp_tensor::{Tensor, TensorRng};
+
+/// A small calibrated MF-DFP network (3×16×16 input, 10 classes).
+fn tiny_qnet(seed: u64) -> QuantizedNet {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = zoo::quick_custom(3, 16, [2, 2, 4], 8, 10, &mut rng).unwrap();
+    let x = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan = calibrate(&mut net, &[(x, vec![0, 1, 2, 3])], 8).unwrap();
+    QuantizedNet::from_network(&net, &plan).unwrap()
+}
+
+/// Starts a one-model server + HTTP front-end on an ephemeral port.
+fn start_http(qnet: &QuantizedNet, config: ServeConfig) -> (HttpServer, Arc<Server>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", qnet.clone());
+    let server = Arc::new(Server::start(registry, config).unwrap());
+    let http = HttpServer::bind(Arc::clone(&server), "127.0.0.1:0", HttpConfig::default()).unwrap();
+    (http, server)
+}
+
+/// Writes raw bytes, reads exactly one HTTP response: `(status, body)`.
+fn roundtrip(stream: &mut TcpStream, bytes: &[u8]) -> (u16, String) {
+    stream.write_all(bytes).unwrap();
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4) {
+            let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+            let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+            let length: usize = head
+                .to_ascii_lowercase()
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:").map(|v| v.trim().to_string()))
+                .unwrap()
+                .parse()
+                .unwrap();
+            while buf.len() < head_end + length {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed mid-body");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            let body = String::from_utf8_lossy(&buf[head_end..head_end + length]).into_owned();
+            return (status, body);
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed mid-head");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Tears the tier down: stops the acceptor, waits for connection handler
+/// threads to release their `Arc<Server>` clones (they exit on EOF once
+/// the client streams are dropped), then shuts the server down.
+fn finish(http: HttpServer, mut server: Arc<Server>) {
+    http.shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match Arc::try_unwrap(server) {
+            Ok(owned) => {
+                owned.shutdown();
+                return;
+            }
+            Err(shared) => {
+                server = shared;
+                assert!(std::time::Instant::now() < deadline, "handler threads did not exit");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn extract_logits(body: &str) -> Vec<f32> {
+    let start = body.find("\"logits\":").unwrap() + "\"logits\":".len();
+    let end = body[start..].find(']').unwrap() + start + 1;
+    parse_f32_array(&body.as_bytes()[start..end]).unwrap()
+}
+
+#[test]
+fn infer_round_trip_is_bit_exact_and_keep_alive_works() {
+    let qnet = tiny_qnet(11);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let mut rng = TensorRng::seed_from(3);
+
+    // Several requests on ONE connection: keep-alive must hold, and
+    // every decoded response must be bit-identical to direct inference.
+    for i in 0..4 {
+        let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+        let body = format_f32_array(img.as_slice());
+        let bytes = encode_request("POST", "/v1/infer/tiny", &[], body.as_bytes());
+        let (status, response) = roundtrip(&mut stream, &bytes);
+        assert_eq!(status, 200, "request {i}: {response}");
+        assert!(response.contains("\"model\":\"tiny\""));
+        assert!(response.contains("\"version\":1"));
+        let direct = qnet.logits(&img).unwrap();
+        let served = extract_logits(&response);
+        assert_eq!(direct.as_slice().len(), served.len());
+        for (a, b) in direct.as_slice().iter().zip(&served) {
+            assert_eq!(a.to_bits(), b.to_bits(), "served logits not bit-exact");
+        }
+    }
+    drop(stream);
+    finish(http, server);
+}
+
+#[test]
+fn error_paths_map_to_typed_statuses() {
+    let qnet = tiny_qnet(13);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    let addr = http.local_addr();
+    let connect = || TcpStream::connect(addr).unwrap();
+
+    // Unknown model → 404.
+    let body = format_f32_array(&vec![0.1f32; 768]);
+    let (status, response) =
+        roundtrip(&mut connect(), &encode_request("POST", "/v1/infer/ghost", &[], body.as_bytes()));
+    assert_eq!(status, 404, "{response}");
+    assert!(response.contains("\"error\""));
+
+    // Wrong input size → 400 with the model's expectation in the message.
+    let (status, response) =
+        roundtrip(&mut connect(), &encode_request("POST", "/v1/infer/tiny", &[], b"[1.0,2.0]"));
+    assert_eq!(status, 400, "{response}");
+    assert!(response.contains("768"), "{response}");
+
+    // Poison body → 400, typed.
+    let (status, response) =
+        roundtrip(&mut connect(), &encode_request("POST", "/v1/infer/tiny", &[], b"[1.0,NaN,2.0]"));
+    assert_eq!(status, 400, "{response}");
+
+    // Unknown route → 404; wrong method → 405.
+    let (status, _) = roundtrip(&mut connect(), &encode_request("GET", "/nope", &[], b""));
+    assert_eq!(status, 404);
+    let (status, _) = roundtrip(&mut connect(), &encode_request("GET", "/v1/infer/tiny", &[], b""));
+    assert_eq!(status, 405);
+    let (status, _) = roundtrip(&mut connect(), &encode_request("POST", "/v1/metrics", &[], b"x"));
+    assert_eq!(status, 405);
+
+    // Bad deadline / priority headers → 400.
+    let (status, _) = roundtrip(
+        &mut connect(),
+        &encode_request("POST", "/v1/infer/tiny", &[("x-mfdfp-deadline-us", "soon")], b"[]"),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = roundtrip(
+        &mut connect(),
+        &encode_request("POST", "/v1/infer/tiny", &[("x-mfdfp-priority", "vip")], b"[]"),
+    );
+    assert_eq!(status, 400);
+
+    // Oversized declared body → 413 from the declaration alone.
+    let (status, _) = roundtrip(
+        &mut connect(),
+        b"POST /v1/infer/tiny HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+
+    // Malformed request line → 400.
+    let (status, _) = roundtrip(&mut connect(), b"garbage\r\n\r\n");
+    assert_eq!(status, 400);
+
+    // Unsupported version → 505.
+    let (status, _) = roundtrip(&mut connect(), b"GET /v1/models HTTP/3.0\r\n\r\n");
+    assert_eq!(status, 505);
+
+    finish(http, server);
+}
+
+#[test]
+fn expired_deadline_sheds_as_504_and_counts() {
+    let qnet = tiny_qnet(17);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let mut rng = TensorRng::seed_from(5);
+    let img: Tensor = rng.gaussian([3, 16, 16], 0.0, 0.7);
+    let body = format_f32_array(img.as_slice());
+
+    // A zero deadline has always expired by batch formation: the request
+    // must shed deterministically — typed 504, counted, no inference.
+    let bytes =
+        encode_request("POST", "/v1/infer/tiny", &[("x-mfdfp-deadline-us", "0")], body.as_bytes());
+    let (status, response) = roundtrip(&mut stream, &bytes);
+    assert_eq!(status, 504, "{response}");
+    assert!(response.contains("shed"), "{response}");
+
+    // A generous deadline serves normally on the same connection.
+    let bytes = encode_request(
+        "POST",
+        "/v1/infer/tiny",
+        &[("x-mfdfp-deadline-us", "60000000")],
+        body.as_bytes(),
+    );
+    let (status, _) = roundtrip(&mut stream, &bytes);
+    assert_eq!(status, 200);
+
+    let snap = server.metrics();
+    assert_eq!(snap.shed, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.submitted, 2);
+    drop(stream);
+    finish(http, server);
+}
+
+#[test]
+fn metrics_and_models_endpoints_serve_json() {
+    let qnet = tiny_qnet(19);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    server.registry().register("second", tiny_qnet(23));
+    server.swap_model("second", tiny_qnet(29)).unwrap();
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    let (status, body) = roundtrip(&mut stream, &encode_request("GET", "/v1/models", &[], b""));
+    assert_eq!(status, 200);
+    assert!(body.contains("{\"name\":\"tiny\",\"version\":1}"), "{body}");
+    assert!(body.contains("{\"name\":\"second\",\"version\":2}"), "{body}");
+
+    // Serve one request, then the metrics document must reflect it.
+    let mut rng = TensorRng::seed_from(7);
+    let img: Tensor = rng.gaussian([3, 16, 16], 0.0, 0.7);
+    let body = format_f32_array(img.as_slice());
+    let (status, _) =
+        roundtrip(&mut stream, &encode_request("POST", "/v1/infer/tiny", &[], body.as_bytes()));
+    assert_eq!(status, 200);
+
+    let (status, body) = roundtrip(&mut stream, &encode_request("GET", "/v1/metrics", &[], b""));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"completed\":1"), "{body}");
+    assert!(body.contains("\"shard_depths\":["), "{body}");
+    assert!(body.contains("\"shed\":0"), "{body}");
+    drop(stream);
+    finish(http, server);
+}
+
+#[test]
+fn http_shutdown_stops_accepting_but_server_survives() {
+    let qnet = tiny_qnet(31);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    let addr = http.local_addr();
+    http.shutdown();
+    // New connections are refused or die without a response…
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            let bytes = encode_request("GET", "/v1/models", &[], b"");
+            stream.write_all(&bytes).is_err() || {
+                let mut out = Vec::new();
+                stream.read_to_end(&mut out).map(|n| n == 0).unwrap_or(true)
+            }
+        }
+    };
+    assert!(refused, "acceptor must be gone after shutdown");
+    // …but the in-process server still serves.
+    let mut rng = TensorRng::seed_from(9);
+    let img: Tensor = rng.gaussian([3, 16, 16], 0.0, 0.7);
+    let response = server.submit("tiny", img).unwrap().wait().unwrap();
+    assert_eq!(response.model, "tiny");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut server = server;
+    loop {
+        match Arc::try_unwrap(server) {
+            Ok(owned) => {
+                owned.shutdown();
+                break;
+            }
+            Err(shared) => {
+                server = shared;
+                assert!(std::time::Instant::now() < deadline, "handler threads did not exit");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}

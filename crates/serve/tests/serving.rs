@@ -102,7 +102,13 @@ fn queue_full_rejection_under_burst() {
     // the queue must overflow deterministically.
     let server = Server::start(
         Arc::clone(&registry),
-        ServeConfig { workers: 1, queue_capacity: 4, max_batch: 1, max_wait: Duration::ZERO },
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -152,6 +158,7 @@ fn concurrent_producers_form_batches_with_identical_results() {
                 queue_capacity: 128,
                 max_batch: 8,
                 max_wait: Duration::from_millis(20),
+                ..Default::default()
             },
         )
         .unwrap(),
@@ -239,6 +246,7 @@ fn mixed_batch_size_traffic_is_bit_identical_to_per_image() {
             queue_capacity: 128,
             max_batch: 8,
             max_wait: Duration::from_millis(10),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -297,6 +305,7 @@ fn mixed_shapes_with_equal_len_batch_safely() {
             queue_capacity: 16,
             max_batch: 4,
             max_wait: Duration::from_millis(20),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -334,6 +343,7 @@ fn ensemble_and_multi_model_serving() {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(5),
+            ..Default::default()
         },
     )
     .unwrap();

@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            ..Default::default()
         },
     )?);
 
