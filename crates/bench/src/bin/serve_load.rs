@@ -91,10 +91,11 @@ struct Cli {
     trace: Option<String>,
     http: bool,
     open_loop_rps: Option<u64>,
+    scenario: Option<String>,
 }
 
 fn parse_cli() -> Cli {
-    let mut cli = Cli { trace: None, http: false, open_loop_rps: None };
+    let mut cli = Cli { trace: None, http: false, open_loop_rps: None, scenario: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -106,6 +107,9 @@ fn parse_cli() -> Cli {
                         .and_then(|v| v.parse().ok())
                         .expect("--open-loop requires a rate (req/s)"),
                 );
+            }
+            "--scenario" => {
+                cli.scenario = Some(args.next().expect("--scenario requires a name"));
             }
             other => panic!("unknown flag {other:?}"),
         }
@@ -354,9 +358,177 @@ fn run_http_producer(
     stats
 }
 
+/// `--scenario recovery`: a scripted self-healing exercise (needs the
+/// `fault` feature for the injection hooks). One worker serves a warm
+/// baseline, then a panic storm trips the per-model circuit breaker; the
+/// harness measures time-to-open, the fast-fail latency while open, the
+/// time from disarm to the half-open probe closing the circuit, and —
+/// after an injected worker death — the watchdog's respawn latency. The
+/// numbers land in `SERVE_BENCH_OUT` next to the throughput runs.
+#[cfg(feature = "fault")]
+#[allow(clippy::too_many_lines)] // one linear scripted scenario, clearer unsplit
+fn run_recovery_scenario() {
+    use mfdfp_serve::{fault, BreakerConfig};
+
+    let config = ServeConfig {
+        workers: 1,
+        breaker: Some(BreakerConfig {
+            threshold: 3,
+            backoff: Duration::from_millis(250),
+            backoff_max: Duration::from_secs(2),
+            probes: 1,
+        }),
+        ..ServeConfig::default()
+    };
+    let mut rng = TensorRng::seed_from(21);
+    let mut float_net = zoo::quick_custom(3, 16, [4, 4, 8], 16, 10, &mut rng).expect("zoo net");
+    let calib = rng.gaussian([4, 3, 16, 16], 0.0, 0.7);
+    let plan_q = calibrate(&mut float_net, &[(calib, vec![0, 1, 2, 3])], 8).expect("calibration");
+    let qnet = QuantizedNet::from_network(&float_net, &plan_q).expect("quantization");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("recovery", qnet.clone());
+    let server = Server::start(Arc::clone(&registry), config).expect("server start");
+    fault::reset();
+
+    let img = rng.gaussian([3, 16, 16], 0.0, 0.7);
+    let direct = qnet.logits(&img).expect("direct logits");
+    let expect_exact = |r: &mfdfp_serve::Response| {
+        assert_eq!(r.logits.as_slice(), direct.as_slice(), "served logits diverged");
+    };
+
+    // Warm baseline: the tier serves bit-exactly before any injection.
+    for _ in 0..8 {
+        expect_exact(&server.submit("recovery", img.clone()).unwrap().wait().unwrap());
+    }
+
+    // Panic storm: every dispatch panics until the breaker opens.
+    fault::arm_worker_panic(1_000);
+    let storm_start = Instant::now();
+    let mut storm_panics = 0u64;
+    let time_to_open = loop {
+        match server.submit("recovery", img.clone()) {
+            Ok(ticket) => match ticket.wait() {
+                Err(ServeError::WorkerPanic) => storm_panics += 1,
+                other => panic!("storm dispatch must panic, got {other:?}"),
+            },
+            Err(ServeError::CircuitOpen { .. }) => break storm_start.elapsed(),
+            Err(e) => panic!("storm submit: {e}"),
+        }
+        assert!(storm_panics < 100, "circuit never opened under a panic storm");
+    };
+
+    // While open, admissions fast-fail without touching queue or worker.
+    let mut fast_fail_ns = 0u128;
+    const FAST_FAILS: u32 = 200;
+    for _ in 0..FAST_FAILS {
+        let t0 = Instant::now();
+        match server.submit("recovery", img.clone()) {
+            Err(ServeError::CircuitOpen { .. }) => fast_fail_ns += t0.elapsed().as_nanos(),
+            other => panic!("open circuit must fast-fail, got {other:?}"),
+        }
+    }
+    let fast_fail_mean_us = fast_fail_ns as f64 / f64::from(FAST_FAILS) / 1000.0;
+
+    // Disarm and heal: wait out the backoff, the half-open probe
+    // succeeds and closes the circuit.
+    fault::reset();
+    let heal_start = Instant::now();
+    let recover = loop {
+        match server.submit("recovery", img.clone()) {
+            Ok(ticket) => {
+                expect_exact(&ticket.wait().expect("probe must serve"));
+                break heal_start.elapsed();
+            }
+            Err(ServeError::CircuitOpen { retry_after, .. }) => {
+                std::thread::sleep(
+                    retry_after.clamp(Duration::from_millis(1), Duration::from_millis(50)),
+                );
+            }
+            Err(e) => panic!("heal submit: {e}"),
+        }
+        assert!(heal_start.elapsed() < Duration::from_secs(10), "circuit never closed");
+    };
+
+    // Worker death: the watchdog must respawn crash-only.
+    fault::arm_worker_die(1);
+    let die_start = Instant::now();
+    while server.metrics().respawns == 0 {
+        assert!(die_start.elapsed() < Duration::from_secs(10), "watchdog never respawned");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let respawn = die_start.elapsed();
+    expect_exact(&server.submit("recovery", img.clone()).unwrap().wait().unwrap());
+
+    let health = server.health();
+    assert!(health.ready, "tier must be ready after healing: {}", health.to_json());
+    let snap = server.metrics();
+    assert_eq!(
+        snap.submitted,
+        snap.completed + snap.failed + snap.shed + snap.shutdown_rejected,
+        "accounting must balance exactly through storm and respawn"
+    );
+
+    println!("serve_load[recovery]: scripted self-healing scenario (1 worker, threshold 3)");
+    println!("storm panics       {storm_panics:>10} before the circuit opened");
+    println!("time to open       {:>10.1} ms", time_to_open.as_secs_f64() * 1e3);
+    println!("fast-fail mean     {fast_fail_mean_us:>10.2} µs over {FAST_FAILS} open admissions");
+    println!(
+        "time to close      {:>10.1} ms (disarm → probe success)",
+        recover.as_secs_f64() * 1e3
+    );
+    println!(
+        "respawn latency    {:>10.1} ms (death → replacement live)",
+        respawn.as_secs_f64() * 1e3
+    );
+    println!("breaker opens      {:>10}", snap.breaker_opens);
+    println!("breaker rejected   {:>10}", snap.breaker_rejected);
+    println!("respawns           {:>10}", snap.respawns);
+    println!("health             {}", health.to_json());
+
+    if let Ok(path) = std::env::var("SERVE_BENCH_OUT") {
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"serve_load\",\"scenario\":\"recovery\",",
+                "\"storm_panics\":{},\"time_to_open_ms\":{:.1},",
+                "\"fast_fail_mean_us\":{:.2},\"time_to_close_ms\":{:.1},",
+                "\"respawn_ms\":{:.1},\"breaker_opens\":{},\"breaker_rejected\":{},",
+                "\"respawns\":{}}}\n"
+            ),
+            storm_panics,
+            time_to_open.as_secs_f64() * 1e3,
+            fast_fail_mean_us,
+            recover.as_secs_f64() * 1e3,
+            respawn.as_secs_f64() * 1e3,
+            snap.breaker_opens,
+            snap.breaker_rejected,
+            snap.respawns,
+        );
+        std::fs::write(&path, json).expect("write SERVE_BENCH_OUT");
+        println!("wrote {path}");
+    }
+    server.shutdown();
+}
+
 #[allow(clippy::too_many_lines)] // one linear report, clearer unsplit
 fn main() {
     let cli = parse_cli();
+    if let Some(scenario) = cli.scenario.as_deref() {
+        match scenario {
+            "recovery" => {
+                #[cfg(feature = "fault")]
+                {
+                    run_recovery_scenario();
+                    return;
+                }
+                #[cfg(not(feature = "fault"))]
+                {
+                    eprintln!("--scenario recovery needs the injection hooks: rebuild with --features fault");
+                    std::process::exit(2);
+                }
+            }
+            other => panic!("unknown scenario {other:?} (known: recovery)"),
+        }
+    }
     let producers = env_usize("MFDFP_SERVE_PRODUCERS", 4);
     let config = ServeConfig {
         shards: env_usize("MFDFP_SERVE_SHARDS", 1),
@@ -365,6 +537,7 @@ fn main() {
         max_batch: env_usize("MFDFP_SERVE_MAX_BATCH", 8),
         max_wait: Duration::from_micros(env_usize("MFDFP_SERVE_MAX_WAIT_US", 2000) as u64),
         model_quota: None,
+        ..ServeConfig::default()
     };
     let plan = Plan {
         requests: env_usize("MFDFP_SERVE_REQUESTS", 64),

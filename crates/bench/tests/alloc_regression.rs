@@ -285,12 +285,12 @@ fn warm_serve_dispatch_compute_is_allocation_free() {
     let mut logits = vec![0.0f32; classes];
     // Warm-up request.
     data.extend_from_slice(img.as_slice());
-    model.logits_batch_into(&data, 1, &mut ws, &mut logits).unwrap();
+    model.logits_batch_into(&data, 1, &mut ws, &mut logits, model.members()).unwrap();
     let (allocs, ()) = allocations(|| {
         for _ in 0..10 {
             data.clear();
             data.extend_from_slice(black_box(img.as_slice()));
-            model.logits_batch_into(&data, 1, &mut ws, &mut logits).unwrap();
+            model.logits_batch_into(&data, 1, &mut ws, &mut logits, model.members()).unwrap();
             black_box(&logits);
         }
     });

@@ -97,18 +97,26 @@ impl Ensemble {
         let n = batch.shape().dim(0);
         let mut out = Tensor::zeros(Shape::d2(n, self.classes()));
         with_thread_workspace(|ws| {
-            self.logits_batch_into(batch.as_slice(), n, ws, out.as_mut_slice())
+            self.logits_batch_into(batch.as_slice(), n, ws, out.as_mut_slice(), self.len())
         })?;
         Ok(out)
     }
 
     /// The allocation-free averaged-logits entry (the ensemble
     /// counterpart of [`QuantizedNet::logits_batch_into`]): `data` is `n`
-    /// images flat, `out` receives the `n × classes` averaged logits.
-    /// Member logits stage in the workspace's `f32` lane; the averaging
-    /// accumulates member-by-member in the same order as
-    /// [`Ensemble::logits_batch`] — which is implemented on top of this —
-    /// so the two agree bit-for-bit.
+    /// images flat, `out` receives the `n × classes` averaged logits of
+    /// the first `members` member networks. Member logits stage in the
+    /// workspace's `f32` lane; the averaging accumulates member-by-member
+    /// in the same order as [`Ensemble::logits_batch`] — which is
+    /// implemented on top of this with `members == len()` — so the two
+    /// agree bit-for-bit.
+    ///
+    /// `members` is the serve tier's accuracy-for-cost dial (the paper's
+    /// Table 3 trade made adaptive): it is clamped to `1..=len()`, the
+    /// member *prefix* runs in declaration order, and the sum is scaled
+    /// by `1/members` — exactly the arithmetic a standalone
+    /// `members`-sized ensemble performs, so a truncated answer is
+    /// bit-identical to that smaller ensemble's.
     ///
     /// # Errors
     ///
@@ -120,18 +128,20 @@ impl Ensemble {
         n: usize,
         ws: &mut Workspace,
         out: &mut [f32],
+        members: usize,
     ) -> Result<()> {
+        let k = members.clamp(1, self.members.len());
         let mut tmp = ws.take_f32();
         let result = (|| {
             tmp.resize(out.len(), 0.0);
             out.fill(0.0);
-            for member in &self.members {
+            for member in &self.members[..k] {
                 member.logits_batch_into(data, n, ws, &mut tmp)?;
                 for (o, &t) in out.iter_mut().zip(tmp.iter()) {
                     *o += t;
                 }
             }
-            let inv = 1.0 / self.members.len() as f32;
+            let inv = 1.0 / k as f32;
             for o in out.iter_mut() {
                 *o *= inv;
             }
@@ -216,8 +226,31 @@ mod tests {
         assert!(plan.f32_len >= e.classes());
         let mut ws = plan.workspace();
         let mut out = vec![0.0f32; 3 * e.classes()];
-        e.logits_batch_into(x.as_slice(), 3, &mut ws, &mut out).unwrap();
+        e.logits_batch_into(x.as_slice(), 3, &mut ws, &mut out, e.len()).unwrap();
         assert_eq!(out, expect.as_slice());
+    }
+
+    #[test]
+    fn truncated_prefix_is_bit_identical_to_smaller_ensemble() {
+        let nets = vec![member(1), member(2), member(3)];
+        let full = Ensemble::new(nets.clone()).unwrap();
+        let mut rng = TensorRng::seed_from(13);
+        let x = rng.gaussian([2, 2, 16, 16], 0.0, 0.7);
+        let mut ws = full.plan_for_batch(2).workspace();
+        for k in 1..=nets.len() {
+            let oracle = Ensemble::new(nets[..k].to_vec()).unwrap().logits_batch(&x).unwrap();
+            let mut out = vec![0.0f32; 2 * full.classes()];
+            full.logits_batch_into(x.as_slice(), 2, &mut ws, &mut out, k).unwrap();
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = oracle.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "k={k}: truncated prefix must match the k-member ensemble");
+        }
+        // Out-of-range member counts clamp rather than panic or error.
+        let mut out = vec![0.0f32; 2 * full.classes()];
+        full.logits_batch_into(x.as_slice(), 2, &mut ws, &mut out, 0).unwrap();
+        full.logits_batch_into(x.as_slice(), 2, &mut ws, &mut out, 99).unwrap();
+        let all = full.logits_batch(&x).unwrap();
+        assert_eq!(out, all.as_slice(), "members > len must clamp to the full ensemble");
     }
 
     #[test]

@@ -19,9 +19,10 @@
 //! │ header (64 B)        │            │ zoo header (64 B)    │
 //! │  magic "MFDFPIMG"    │            │  magic "MFDFPZOO"    │
 //! │  version=2, n_layers │            │  version=2, n_models │
-//! │  classes, formats    │            ├──────────────────────┤ 64
-//! │  name_off/len        │            │ directory            │
-//! │  ltab_off, image_len │            │  n × 32 B entries    │
+//! │  classes, formats    │            │  crc32 + "CRC1"      │
+//! │  name_off/len        │            ├──────────────────────┤ 64
+//! │  ltab_off, image_len │            │ directory            │
+//! │  crc32 + "CRC1"      │            │  n × 32 B entries    │
 //! ├──────────────────────┤            │  name_off/len        │
 //! │ model name (UTF-8)   │            │  model_off/len       │
 //! ├──────────────────────┤ ltab_off   ├──────────────────────┤
@@ -47,6 +48,18 @@
 //! re-packed on either side (the v1 stream format behind [`crate::from_bytes`]
 //! is kept for migration).
 //!
+//! # Integrity
+//!
+//! Every model and zoo header carries a whole-section CRC-32
+//! ([`mfdfp_dfp::crc32`]) plus the marker `"CRC1"`, verified by
+//! [`ImageView::open`] / [`ZooView::open`] before any byte is trusted:
+//! a torn write or a single flipped bit anywhere yields a typed
+//! [`CoreError::BadImage`]. Images written before checksums existed
+//! (both fields zero) are still accepted; any other marker value is
+//! itself corruption. [`write_image_atomic`] completes the story on
+//! disk: tmp file + fsync + atomic rename, so readers only ever observe
+//! a complete image.
+//!
 //! # Ownership
 //!
 //! [`ImageView::open`] validates the whole image once and
@@ -60,7 +73,7 @@
 use std::sync::Arc;
 
 use mfdfp_accel::qlayers::{ShiftConv, ShiftLinear};
-use mfdfp_dfp::{AlignedBytes, DfpFormat, I64Section, PackedPow2Matrix};
+use mfdfp_dfp::{AlignedBytes, Crc32, DfpFormat, I64Section, PackedPow2Matrix};
 use mfdfp_tensor::{AlignedArena, ConvGeometry, PoolKind};
 
 use crate::error::{CoreError, Result};
@@ -80,6 +93,16 @@ const HEADER_LEN: usize = 64;
 const LAYER_ENTRY_LEN: usize = 96;
 const ZOO_DIR_ENTRY_LEN: usize = 32;
 
+/// Marker bytes declaring that the header carries a CRC-32. A v2 image
+/// written before checksums leaves this field (and the CRC word) zero
+/// and is still accepted; any *other* value is corruption — so flipping
+/// a bit of the marker itself cannot silently disable the check.
+const CRC_MARKER: [u8; 4] = *b"CRC1";
+/// Model header: CRC-32 word at 44..48, [`CRC_MARKER`] at 48..52.
+const IMAGE_CRC_OFF: usize = 44;
+/// Zoo header: CRC-32 word at 32..36, [`CRC_MARKER`] at 36..40.
+const ZOO_CRC_OFF: usize = 32;
+
 /// Layer kind tags in the layer table.
 const KIND_CONV: u32 = 0;
 const KIND_LINEAR: u32 = 1;
@@ -88,6 +111,48 @@ const KIND_RELU: u32 = 3;
 
 fn bad(msg: impl Into<String>) -> CoreError {
     CoreError::BadImage(msg.into())
+}
+
+/// CRC-32 of `img` with the 4-byte checksum word at `crc_off` treated as
+/// zero — the form both the writer (which hashes before stamping) and
+/// the verifier (which hashes around the stamped word) agree on.
+fn section_crc(img: &[u8], crc_off: usize) -> u32 {
+    let mut h = Crc32::new();
+    h.update(&img[..crc_off]);
+    h.update_zeros(4);
+    h.update(&img[crc_off + 4..]);
+    h.finish()
+}
+
+/// Verifies the whole-section CRC of an image or zoo whose checksum word
+/// sits at `crc_off` (marker directly after it). Three-way rule:
+/// marker == `CRC1` → verify; marker and word both zero → legacy
+/// checksum-absent v2, accepted; anything else → corruption.
+fn verify_crc(img: &[u8], crc_off: usize, what: &str) -> Result<()> {
+    let marker = &img[crc_off + 4..crc_off + 8];
+    if marker == CRC_MARKER {
+        let stored = u32_at(img, crc_off);
+        let actual = section_crc(img, crc_off);
+        if stored != actual {
+            return Err(bad(format!(
+                "{what} checksum mismatch: header says {stored:#010x}, bytes hash to {actual:#010x}"
+            )));
+        }
+        Ok(())
+    } else if marker == [0u8; 4] && u32_at(img, crc_off) == 0 {
+        // A v2 image written before checksums existed: both fields zero.
+        Ok(())
+    } else {
+        Err(bad(format!("{what} checksum marker is corrupt")))
+    }
+}
+
+/// Stamps marker + CRC into a finished section (word at `crc_off` must
+/// still be zero, as the writers leave it).
+fn stamp_crc(bytes: &mut [u8], crc_off: usize) {
+    bytes[crc_off + 4..crc_off + 8].copy_from_slice(&CRC_MARKER);
+    let crc = section_crc(bytes, crc_off);
+    bytes[crc_off..crc_off + 4].copy_from_slice(&crc.to_le_bytes());
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +283,9 @@ pub fn to_image(net: &QuantizedNet) -> AlignedBytes {
         e[80..88].copy_from_slice(&sec[3].to_le_bytes());
         a.patch(ltab_off + i * LAYER_ENTRY_LEN, &e);
     }
-    a.finish()
+    let mut image = a.finish();
+    stamp_crc(image.as_mut_slice(), IMAGE_CRC_OFF);
+    image
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +405,10 @@ impl ImageView {
         if version != IMAGE_VERSION {
             return Err(bad(format!("unsupported image version {version}")));
         }
+        // End-to-end integrity first: any single flipped bit anywhere in
+        // the section — header, name, layer table, weight nibble, bias —
+        // is rejected here, before a single weight byte is trusted.
+        verify_crc(img, IMAGE_CRC_OFF, "model image")?;
         let n_layers = u32_at(img, 12) as usize;
         let classes = u32_at(img, 16) as usize;
         if n_layers == 0 || classes == 0 {
@@ -668,7 +739,12 @@ impl ZooBuilder {
             e[16..24].copy_from_slice(&d[3].to_le_bytes());
             a.patch(dir_off + i * ZOO_DIR_ENTRY_LEN, &e);
         }
-        a.finish()
+        // Zoo-level CRC covers every byte — directory, names and the
+        // embedded model images (each already carrying its own CRC) — so
+        // one flipped bit anywhere is caught before any model is opened.
+        let mut image = a.finish();
+        stamp_crc(image.as_mut_slice(), ZOO_CRC_OFF);
+        image
     }
 }
 
@@ -704,6 +780,9 @@ impl ZooView {
         if version != IMAGE_VERSION {
             return Err(bad(format!("unsupported zoo version {version}")));
         }
+        // Whole-zoo integrity before the directory is trusted: a torn
+        // write or flipped bit in any byte of any section fails here.
+        verify_crc(img, ZOO_CRC_OFF, "zoo image")?;
         let n_models = u32_at(img, 12) as usize;
         let declared = u64_at(img, 24);
         if declared != len as u64 {
@@ -779,4 +858,51 @@ impl ZooView {
             .ok_or_else(|| bad(format!("no model named {name:?} in zoo")))?;
         self.model(i)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence
+// ---------------------------------------------------------------------------
+
+/// Writes an image (model or zoo) to `path` crash-safely: the bytes go
+/// to a same-directory temporary file, are fsynced, and only then
+/// atomically renamed over `path` (followed by a best-effort directory
+/// fsync). A crash or power cut at any point leaves either the old file
+/// or the new one — never a torn mix — so a reader can only ever observe
+/// a complete image, whose header CRC then vouches for every byte.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing or renaming the
+/// temporary file; on error the temporary file is removed (best effort)
+/// and `path` is untouched.
+pub fn write_image_atomic(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Data must be durable *before* the rename publishes the name;
+        // otherwise a crash could expose a named-but-empty file.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Make the rename itself durable. Failing to sync the directory
+    // weakens durability, not atomicity, so this is best-effort.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }

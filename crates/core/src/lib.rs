@@ -55,7 +55,10 @@ pub use analysis::{exponent_histogram, quantization_errors, ExponentHistogram, L
 pub use deploy::{from_bytes, to_bytes, MAGIC, VERSION};
 pub use ensemble::Ensemble;
 pub use error::{CoreError, Result};
-pub use image::{to_image, ImageView, ZooBuilder, ZooView, IMAGE_MAGIC, IMAGE_VERSION, ZOO_MAGIC};
+pub use image::{
+    to_image, write_image_atomic, ImageView, ZooBuilder, ZooView, IMAGE_MAGIC, IMAGE_VERSION,
+    ZOO_MAGIC,
+};
 pub use memory::{memory_report, MemoryReport, MIB};
 pub use mfdfp_dfp::AlignedBytes;
 pub use mfdfp_tensor::{Workspace, WorkspacePlan};

@@ -1,0 +1,203 @@
+//! Hand-rolled CRC-32 (IEEE 802.3) — the end-to-end integrity check
+//! stamped into every deployment image and zoo header.
+//!
+//! The deployment story (PAPER.md Fig. 2) ships packed weight images to
+//! an accelerator over links and disks the serve tier does not control;
+//! a single flipped bit in a packed pow-2 nibble silently changes every
+//! logit downstream. The image format therefore carries a whole-buffer
+//! CRC-32 which `mfdfp-core`'s `ImageView`/`ZooView` verify before any
+//! weight byte is lent to a kernel.
+//!
+//! This is the reflected CRC-32 with polynomial `0xEDB8_8320`
+//! (zlib/PNG/Ethernet): init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`.
+//! Pure `std`, table-driven (256-entry table built in a `const` fn), no
+//! dependencies — the same bytes hash to the same word on every target.
+//!
+//! # Examples
+//!
+//! ```
+//! use mfdfp_dfp::{crc32, Crc32};
+//!
+//! // The classic check vector.
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//!
+//! // Streaming over parts is identical to hashing the concatenation.
+//! let mut h = Crc32::new();
+//! h.update(b"1234");
+//! h.update(b"56789");
+//! assert_eq!(h.finish(), crc32(b"123456789"));
+//! ```
+
+/// The reflected IEEE 802.3 generator polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table: `TABLE[b]` is the CRC of the single byte `b`.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 hasher, for checksumming a buffer in parts (the
+/// image verifier hashes around the header's own checksum field without
+/// copying the image).
+///
+/// # Examples
+///
+/// ```
+/// use mfdfp_dfp::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"stream");
+/// h.update(b"ing");
+/// assert_eq!(h.finish(), mfdfp_dfp::crc32(b"streaming"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (state = init value `0xFFFF_FFFF`).
+    pub const fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Absorbs `n` zero bytes — how the verifier hashes a header whose
+    /// checksum field is treated as zeroed, without mutating the buffer.
+    pub fn update_zeros(&mut self, n: usize) {
+        let mut crc = self.state;
+        for _ in 0..n {
+            crc = (crc >> 8) ^ TABLE[(crc & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum (applies the closing XOR; the hasher may keep
+    /// absorbing afterwards since `finish` does not consume it).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mfdfp_dfp::crc32(b""), 0);
+/// assert_eq!(mfdfp_dfp::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time reference implementation, table-free.
+    fn crc32_reference(bytes: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn matches_bitwise_reference() {
+        let mut bytes = Vec::new();
+        let mut x = 0x1234_5678u32;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            bytes.push((x >> 24) as u8);
+        }
+        for n in [0, 1, 2, 63, 64, 65, 999, 1000] {
+            assert_eq!(crc32(&bytes[..n]), crc32_reference(&bytes[..n]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_every_split() {
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        let expect = crc32(&bytes);
+        for split in [0, 1, 7, 64, 150, 299, 300] {
+            let mut h = Crc32::new();
+            h.update(&bytes[..split]);
+            h.update(&bytes[split..]);
+            assert_eq!(h.finish(), expect, "split={split}");
+        }
+    }
+
+    #[test]
+    fn update_zeros_matches_real_zero_bytes() {
+        let prefix = b"header bytes";
+        let suffix = b"payload after the checksum field";
+        for zeros in [0usize, 1, 4, 8, 64] {
+            let mut with_zeros = prefix.to_vec();
+            with_zeros.extend(std::iter::repeat_n(0u8, zeros));
+            with_zeros.extend_from_slice(suffix);
+
+            let mut h = Crc32::new();
+            h.update(prefix);
+            h.update_zeros(zeros);
+            h.update(suffix);
+            assert_eq!(h.finish(), crc32(&with_zeros), "zeros={zeros}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_checksum() {
+        let bytes: Vec<u8> = (0..128u8).collect();
+        let base = crc32(&bytes);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`aligned`] — the 64-byte-aligned storage cell ([`AlignedBytes`])
 //!   that deployment images and packed weight buffers sit on, modelling
 //!   the paper's DMA-able accelerator weight buffer.
+//! * [`crc32`] / [`Crc32`] — hand-rolled CRC-32 (IEEE) that deployment
+//!   images and zoos carry in their headers, so a torn write or flipped
+//!   bit is rejected before any weight byte reaches a kernel.
 //!
 //! Everything here is pure integer/float math with no dependencies on the
 //! tensor or network crates, so the same code backs both the software
@@ -54,6 +57,7 @@
 
 pub mod aligned;
 mod arith;
+mod crc;
 mod error;
 mod format;
 mod packed;
@@ -65,6 +69,7 @@ pub use arith::{
     fits_in_bits, realign, saturate, shift_round, Accumulator, AdderTree, ACCUMULATOR_BITS,
     PRODUCT_BITS, TREE_ROOT_BITS,
 };
+pub use crc::{crc32, Crc32};
 pub use error::{DfpError, Result};
 pub use format::DfpFormat;
 pub use packed::PackedPow2Matrix;

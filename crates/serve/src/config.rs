@@ -35,6 +35,22 @@ pub struct ServeConfig {
     /// may be queued/in flight at once; the excess is rejected with
     /// [`ServeError::QuotaExceeded`]. `None` disables quotas.
     pub model_quota: Option<u64>,
+    /// Per-model circuit breakers ([`ServeError::CircuitOpen`] fast
+    /// fail after consecutive dispatch failures). `None` disables them.
+    pub breaker: Option<BreakerConfig>,
+    /// Adaptive ensemble degradation: when recent queue-wait p95 crosses
+    /// the configured target, ensembles serve a truncated member prefix
+    /// until pressure falls. `None` (the default) disables degradation.
+    pub degrade: Option<DegradeConfig>,
+    /// How often the supervisor thread scans worker heartbeats and the
+    /// degradation controller re-evaluates queue pressure. Also the
+    /// heartbeat cadence of an idle worker parked on its queue.
+    pub supervise_interval: Duration,
+    /// A worker whose heartbeat is older than this is declared hung and
+    /// crash-only respawned by the watchdog (its thread is detached, a
+    /// replacement takes its slot). Must comfortably exceed the longest
+    /// legitimate batch dispatch.
+    pub hang_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +62,10 @@ impl Default for ServeConfig {
             max_batch: 16,
             max_wait: Duration::from_micros(2000),
             model_quota: None,
+            breaker: Some(BreakerConfig::default()),
+            degrade: None,
+            supervise_interval: Duration::from_millis(20),
+            hang_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -73,6 +93,122 @@ impl ServeConfig {
         if self.model_quota == Some(0) {
             return Err(ServeError::BadConfig("model_quota must be at least 1 (or None)".into()));
         }
+        if let Some(b) = &self.breaker {
+            b.validate()?;
+        }
+        if let Some(d) = &self.degrade {
+            d.validate()?;
+        }
+        if self.supervise_interval.is_zero() {
+            return Err(ServeError::BadConfig("supervise_interval must be positive".into()));
+        }
+        if self.hang_timeout <= self.supervise_interval {
+            return Err(ServeError::BadConfig(
+                "hang_timeout must exceed supervise_interval, or every idle heartbeat \
+                 gap reads as a hang"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Tuning of the per-model circuit breaker (see
+/// [`ServeError::CircuitOpen`]).
+///
+/// The breaker counts *consecutive* dispatch failures
+/// ([`ServeError::WorkerPanic`] / [`ServeError::Inference`]); at
+/// `threshold` it opens and fast-fails admissions for `backoff`. It then
+/// half-opens: up to `probes` requests are admitted as probes; one
+/// probe success closes the circuit (and resets the backoff), one probe
+/// failure re-opens it with the backoff doubled, capped at
+/// `backoff_max`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive dispatch failures that open the circuit.
+    pub threshold: u32,
+    /// How long the circuit stays open after the first trip.
+    pub backoff: Duration,
+    /// Ceiling of the exponential backoff across repeated re-opens.
+    pub backoff_max: Duration,
+    /// Concurrent probe admissions while half-open.
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            backoff: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            probes: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero knobs or a backoff cap
+    /// below the base backoff.
+    pub fn validate(&self) -> Result<()> {
+        if self.threshold == 0 || self.probes == 0 {
+            return Err(ServeError::BadConfig(
+                "breaker threshold and probes must be at least 1".into(),
+            ));
+        }
+        if self.backoff.is_zero() {
+            return Err(ServeError::BadConfig("breaker backoff must be positive".into()));
+        }
+        if self.backoff_max < self.backoff {
+            return Err(ServeError::BadConfig(
+                "breaker backoff_max must be at least the base backoff".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Tuning of adaptive ensemble degradation — the paper's Table 3
+/// accuracy-for-cost dial turned into a runtime controller.
+///
+/// Every supervise tick the controller computes the queue-wait p95 over
+/// the requests recorded *since the previous tick*. Above `target_p95`
+/// the degradation level rises by one (each level drops one ensemble
+/// member from the served prefix, floored at one member); only after
+/// `release_ticks` consecutive calm ticks (p95 under half the target, or
+/// no traffic) does it step back down — hysteresis, so the dial does not
+/// flap on a noisy boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Queue-wait p95 above which the tier sheds ensemble members.
+    pub target_p95: Duration,
+    /// Consecutive calm ticks required before restoring one member.
+    pub release_ticks: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig { target_p95: Duration::from_millis(50), release_ticks: 3 }
+    }
+}
+
+impl DegradeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero target or zero
+    /// release ticks.
+    pub fn validate(&self) -> Result<()> {
+        if self.target_p95.is_zero() {
+            return Err(ServeError::BadConfig("degrade target_p95 must be positive".into()));
+        }
+        if self.release_ticks == 0 {
+            return Err(ServeError::BadConfig("degrade release_ticks must be at least 1".into()));
+        }
         Ok(())
     }
 }
@@ -95,9 +231,16 @@ pub struct HttpConfig {
     /// closes once this many handler threads are live (load shedding at
     /// the edge).
     pub max_connections: usize,
-    /// Per-socket read timeout: an idle keep-alive connection is dropped
-    /// after this long, so handler threads cannot leak.
+    /// Per-read socket timeout: the granularity at which a blocked
+    /// handler thread wakes to check its idle deadline.
     pub read_timeout: Duration,
+    /// Keep-alive idle deadline: a connection that does not deliver a
+    /// complete request within this long of being accepted (or of its
+    /// previous response) is answered `408 Request Timeout` and closed,
+    /// releasing its connection-cap slot. A slow-loris peer trickling
+    /// partial bytes is held to the same deadline. Counted in the
+    /// `http_idle_closed` metric.
+    pub idle_timeout: Duration,
 }
 
 impl Default for HttpConfig {
@@ -107,6 +250,7 @@ impl Default for HttpConfig {
             max_body_bytes: 1024 * 1024,
             max_connections: 64,
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -126,6 +270,9 @@ impl HttpConfig {
         }
         if self.read_timeout.is_zero() {
             return Err(ServeError::BadConfig("read_timeout must be positive".into()));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(ServeError::BadConfig("idle_timeout must be positive".into()));
         }
         Ok(())
     }
@@ -149,6 +296,36 @@ mod tests {
             ServeConfig { queue_capacity: 0, ..Default::default() },
             ServeConfig { max_batch: 0, ..Default::default() },
             ServeConfig { model_quota: Some(0), ..Default::default() },
+            ServeConfig {
+                breaker: Some(BreakerConfig { threshold: 0, ..Default::default() }),
+                ..Default::default()
+            },
+            ServeConfig {
+                breaker: Some(BreakerConfig { backoff: Duration::ZERO, ..Default::default() }),
+                ..Default::default()
+            },
+            ServeConfig {
+                breaker: Some(BreakerConfig {
+                    backoff: Duration::from_secs(1),
+                    backoff_max: Duration::from_millis(1),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            ServeConfig {
+                degrade: Some(DegradeConfig { target_p95: Duration::ZERO, ..Default::default() }),
+                ..Default::default()
+            },
+            ServeConfig {
+                degrade: Some(DegradeConfig { release_ticks: 0, ..Default::default() }),
+                ..Default::default()
+            },
+            ServeConfig { supervise_interval: Duration::ZERO, ..Default::default() },
+            ServeConfig {
+                supervise_interval: Duration::from_secs(3),
+                hang_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
         ] {
             assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
         }
@@ -157,6 +334,7 @@ mod tests {
             HttpConfig { max_body_bytes: 0, ..Default::default() },
             HttpConfig { max_connections: 0, ..Default::default() },
             HttpConfig { read_timeout: Duration::ZERO, ..Default::default() },
+            HttpConfig { idle_timeout: Duration::ZERO, ..Default::default() },
         ] {
             assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
         }

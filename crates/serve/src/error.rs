@@ -52,6 +52,19 @@ pub enum ServeError {
     /// request. The panic was contained (the worker thread survives and
     /// no lock is poisoned); the batch is answered with this typed error.
     WorkerPanic,
+    /// The model's circuit breaker is open after consecutive dispatch
+    /// failures: the request fast-fails at admission without queueing,
+    /// shielding the tier while the model recovers. Retry after
+    /// `retry_after` (surfaced as HTTP 503 + `Retry-After`).
+    CircuitOpen {
+        /// The model whose circuit is open.
+        model: String,
+        /// How long until the breaker next admits a probe.
+        retry_after: std::time::Duration,
+    },
+    /// The server's bounded drain deadline passed while this request was
+    /// still queued; it was rejected instead of holding shutdown hostage.
+    ShuttingDown,
     /// A socket-level fault in the HTTP front-end (bind/accept/read).
     Io(String),
 }
@@ -77,6 +90,16 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorkerPanic => {
                 write!(f, "a serving worker panicked while dispatching this batch")
+            }
+            ServeError::CircuitOpen { model, retry_after } => {
+                write!(
+                    f,
+                    "circuit for model {model:?} is open; retry in {:.3}s",
+                    retry_after.as_secs_f64()
+                )
+            }
+            ServeError::ShuttingDown => {
+                write!(f, "server is draining down; request rejected at the drain deadline")
             }
             ServeError::Io(msg) => write!(f, "http i/o error: {msg}"),
         }

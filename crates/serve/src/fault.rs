@@ -23,7 +23,15 @@
 //!   their deadlines (deadline-shed testing);
 //! * **registry read delay** — a registry lookup holds the shared lock
 //!   for a configured duration, widening the mid-swap window so the
-//!   reader/swapper interleaving is reliably exercised.
+//!   reader/swapper interleaving is reliably exercised;
+//! * **worker hang** — a dispatch stalls long enough for the worker's
+//!   heartbeat to go stale, the deterministic way to trip the watchdog's
+//!   hung-worker detection and crash-only respawn;
+//! * **worker death** — a worker thread aborts *outside* the
+//!   per-dispatch panic containment (at the top of its loop), the
+//!   deterministic way to exercise dead-worker detection and respawn.
+//!   Arm a large count of worker panics for a **panic storm** (the
+//!   circuit-breaker trip scenario).
 //!
 //! [`ServeError::QueueFull`]: crate::ServeError::QueueFull
 //! [`ServeError::WorkerPanic`]: crate::ServeError::WorkerPanic
@@ -39,6 +47,9 @@ mod armed {
     static SLOW_BATCH_US: AtomicU64 = AtomicU64::new(0);
     static REGISTRY_READ: AtomicU64 = AtomicU64::new(0);
     static REGISTRY_READ_US: AtomicU64 = AtomicU64::new(0);
+    static WORKER_HANG: AtomicU64 = AtomicU64::new(0);
+    static WORKER_HANG_US: AtomicU64 = AtomicU64::new(0);
+    static WORKER_DIE: AtomicU64 = AtomicU64::new(0);
 
     /// Decrements `counter` if positive; returns whether it was.
     fn take(counter: &AtomicU64) -> bool {
@@ -69,9 +80,27 @@ mod armed {
         REGISTRY_READ.store(n, Ordering::Relaxed);
     }
 
+    /// Arms the next `n` dispatches to hang for `delay` — long enough,
+    /// with `delay > hang_timeout`, for the watchdog to declare the
+    /// worker hung and respawn it. The hung thread finishes its batch
+    /// when the sleep ends (crash-only: nobody waits for it).
+    pub fn arm_worker_hang(n: u64, delay: Duration) {
+        WORKER_HANG_US.store(delay.as_micros() as u64, Ordering::Relaxed);
+        WORKER_HANG.store(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` worker-loop iterations to abort the worker
+    /// thread (outside the per-dispatch panic containment), exercising
+    /// dead-worker detection and respawn.
+    pub fn arm_worker_die(n: u64) {
+        WORKER_DIE.store(n, Ordering::Relaxed);
+    }
+
     /// Disarms every fault.
     pub fn reset() {
-        for counter in [&QUEUE_FULL, &WORKER_PANIC, &SLOW_BATCH, &REGISTRY_READ] {
+        for counter in
+            [&QUEUE_FULL, &WORKER_PANIC, &SLOW_BATCH, &REGISTRY_READ, &WORKER_HANG, &WORKER_DIE]
+        {
             counter.store(0, Ordering::Relaxed);
         }
     }
@@ -101,12 +130,33 @@ mod armed {
             std::thread::sleep(Duration::from_micros(REGISTRY_READ_US.load(Ordering::Relaxed)));
         }
     }
+
+    /// Hook: hang the dispatching worker if armed.
+    pub(crate) fn maybe_worker_hang() {
+        if take(&WORKER_HANG) {
+            std::thread::sleep(Duration::from_micros(WORKER_HANG_US.load(Ordering::Relaxed)));
+        }
+    }
+
+    /// Hook: kill the worker thread if armed (panics outside the
+    /// dispatch containment, so the thread actually dies).
+    pub(crate) fn maybe_worker_die() {
+        if take(&WORKER_DIE) {
+            panic!("fault injection: worker death");
+        }
+    }
 }
 
 #[cfg(any(test, feature = "fault"))]
-pub use armed::{arm_queue_full, arm_registry_read_delay, arm_slow_batch, arm_worker_panic, reset};
+pub use armed::{
+    arm_queue_full, arm_registry_read_delay, arm_slow_batch, arm_worker_die, arm_worker_hang,
+    arm_worker_panic, reset,
+};
 #[cfg(any(test, feature = "fault"))]
-pub(crate) use armed::{maybe_slow_batch, maybe_worker_panic, on_registry_read, take_queue_full};
+pub(crate) use armed::{
+    maybe_slow_batch, maybe_worker_die, maybe_worker_hang, maybe_worker_panic, on_registry_read,
+    take_queue_full,
+};
 
 #[cfg(not(any(test, feature = "fault")))]
 mod disarmed {
@@ -127,9 +177,18 @@ mod disarmed {
     /// Hook: never fires in production builds.
     #[inline(always)]
     pub(crate) fn on_registry_read() {}
+
+    /// Hook: never fires in production builds.
+    #[inline(always)]
+    pub(crate) fn maybe_worker_hang() {}
+
+    /// Hook: never fires in production builds.
+    #[inline(always)]
+    pub(crate) fn maybe_worker_die() {}
 }
 
 #[cfg(not(any(test, feature = "fault")))]
 pub(crate) use disarmed::{
-    maybe_slow_batch, maybe_worker_panic, on_registry_read, take_queue_full,
+    maybe_slow_batch, maybe_worker_die, maybe_worker_hang, maybe_worker_panic, on_registry_read,
+    take_queue_full,
 };

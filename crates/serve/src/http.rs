@@ -21,10 +21,24 @@
 //!   decoded values are **bit-identical** to the served logits.
 //! * `GET /v1/metrics` — the full [`MetricsSnapshot`] JSON document.
 //! * `GET /v1/models` — registered names with their current versions.
+//! * `GET /v1/health` — the self-healing surface
+//!   ([`HealthSnapshot`](crate::HealthSnapshot) JSON): per-shard worker
+//!   heartbeat ages and queue depths, per-model breaker states, the
+//!   degradation level and the respawn count.
+//! * `GET /v1/ready` — the readiness bit alone; `200` while every shard
+//!   has a fresh-heartbeat worker, `503` otherwise.
 //!
 //! Serving errors map to statuses: unknown model → 404, bad input →
-//! 400, queue/quota backpressure → 429, deadline shed → 504, shutdown →
-//! 503, worker panic or datapath fault → 500.
+//! 400, queue/quota backpressure → 429, deadline shed → 504, shutdown /
+//! drain rejection → 503, open circuit → 503 with a `Retry-After`
+//! header, worker panic or datapath fault → 500. A degraded (truncated
+//! ensemble) answer carries `x-mfdfp-degraded: 1` and `"degraded":true`.
+//!
+//! Keep-alive connections are reaped: a connection that completes no
+//! request for [`HttpConfig::idle_timeout`] is answered `408` and
+//! closed (counted in the `http_idle_closed` metric). The per-read
+//! slice is `min(read_timeout, time-to-idle-deadline)`, so a slow-loris
+//! client dripping bytes is held to the same deadline as a silent one.
 //!
 //! [`MetricsSnapshot`]: crate::MetricsSnapshot
 
@@ -33,6 +47,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::config::HttpConfig;
 use crate::error::{Result, ServeError};
@@ -339,7 +354,9 @@ fn status_for(err: &ServeError) -> (u16, &'static str) {
             (429, "Too Many Requests")
         }
         ServeError::DeadlineExceeded { .. } => (504, "Gateway Timeout"),
-        ServeError::Closed => (503, "Service Unavailable"),
+        ServeError::Closed | ServeError::CircuitOpen { .. } | ServeError::ShuttingDown => {
+            (503, "Service Unavailable")
+        }
         ServeError::WorkerPanic
         | ServeError::Inference(_)
         | ServeError::BadConfig(_)
@@ -353,6 +370,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -370,25 +388,37 @@ struct Reply {
     status: u16,
     body: String,
     keep_alive: bool,
+    /// Extra response headers (`Retry-After`, `x-mfdfp-degraded`);
+    /// names must already be valid header tokens.
+    headers: Vec<(&'static str, String)>,
 }
 
 impl Reply {
     fn json(status: u16, body: String, keep_alive: bool) -> Reply {
-        Reply { status, body, keep_alive }
+        Reply { status, body, keep_alive, headers: Vec::new() }
     }
 
     fn error(status: u16, message: &str, keep_alive: bool) -> Reply {
-        Reply { status, body: format!("{{\"error\":\"{}\"}}", json_escape(message)), keep_alive }
+        Reply {
+            status,
+            body: format!("{{\"error\":\"{}\"}}", json_escape(message)),
+            keep_alive,
+            headers: Vec::new(),
+        }
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
             self.body.len(),
             if self.keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -525,18 +555,25 @@ fn accept_loop(
 }
 
 /// Serves one connection: buffered incremental parse, dispatch, response,
-/// keep-alive loop. Exits on close, parse error, read timeout or I/O
-/// fault; the [`ConnectionSlot`] releases capacity on every exit path.
+/// keep-alive loop. Exits on close, parse error, the idle deadline or an
+/// I/O fault; the [`ConnectionSlot`] releases capacity on every exit
+/// path.
+///
+/// The idle deadline is connection start (or the last *complete*
+/// response) + [`HttpConfig::idle_timeout`]; each read blocks for at
+/// most `min(read_timeout, time to the deadline)`, so both a silent
+/// keep-alive connection and a slow-loris drip-feed are answered `408`
+/// and closed at the same deadline (counted in `http_idle_closed`).
 fn handle_connection(
     mut stream: TcpStream,
     server: &Arc<Server>,
     config: &HttpConfig,
     _slot: ConnectionSlot,
 ) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    let mut idle_deadline = Instant::now() + config.idle_timeout;
     loop {
         let parse_from = mfdfp_obs::now_ns();
         let parsed = parse_request(&buf, config);
@@ -554,12 +591,33 @@ fn handle_connection(
                 if reply.write_to(&mut stream).is_err() || !keep_alive {
                     return;
                 }
+                idle_deadline = Instant::now() + config.idle_timeout;
             }
-            Ok(None) => match stream.read(&mut chunk) {
-                Ok(0) => return,
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                Err(_) => return,
-            },
+            Ok(None) => {
+                let now = Instant::now();
+                if now >= idle_deadline {
+                    server.metrics_inner().record_http_idle_closed();
+                    let _ =
+                        Reply::error(408, "connection idle timeout", false).write_to(&mut stream);
+                    return;
+                }
+                let slice = config.read_timeout.min(idle_deadline - now);
+                let _ = stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))));
+                match stream.read(&mut chunk) {
+                    Ok(0) => return,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        // Read slice expired inside the idle window: loop
+                        // so the deadline check above decides.
+                    }
+                    Err(_) => return,
+                }
+            }
             Err(e) => {
                 let _ = Reply::error(e.status(), &e.to_string(), false).write_to(&mut stream);
                 return;
@@ -574,6 +632,11 @@ fn route(server: &Arc<Server>, request: &HttpRequest) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/metrics") => Reply::json(200, server.metrics().to_json(), keep_alive),
         ("GET", "/v1/models") => Reply::json(200, models_json(server), keep_alive),
+        ("GET", "/v1/health") => Reply::json(200, server.health().to_json(), keep_alive),
+        ("GET", "/v1/ready") => {
+            let ready = server.ready();
+            Reply::json(if ready { 200 } else { 503 }, format!("{{\"ready\":{ready}}}"), keep_alive)
+        }
         (method, path) if path.starts_with("/v1/infer/") => {
             let model = &path["/v1/infer/".len()..];
             if model.is_empty() {
@@ -584,7 +647,7 @@ fn route(server: &Arc<Server>, request: &HttpRequest) -> Reply {
             }
             infer(server, model, request)
         }
-        (_, "/v1/metrics" | "/v1/models") => {
+        (_, "/v1/metrics" | "/v1/models" | "/v1/health" | "/v1/ready") => {
             Reply::error(405, "use GET on this endpoint", keep_alive)
         }
         _ => Reply::error(404, "unknown route", keep_alive),
@@ -631,22 +694,36 @@ fn infer(server: &Arc<Server>, model: &str, request: &HttpRequest) -> Reply {
     }
     let outcome = server.submit_with(model, image, opts).and_then(crate::Ticket::wait);
     match outcome {
-        Ok(response) => Reply::json(
-            200,
-            format!(
-                "{{\"model\":\"{}\",\"version\":{},\"class\":{},\"batch_size\":{},\"latency_us\":{},\"logits\":{}}}",
-                json_escape(&response.model),
-                response.version,
-                response.class,
-                response.batch_size,
-                response.latency.as_micros(),
-                format_f32_array(response.logits.as_slice()),
-            ),
-            keep_alive,
-        ),
+        Ok(response) => {
+            let mut reply = Reply::json(
+                200,
+                format!(
+                    "{{\"model\":\"{}\",\"version\":{},\"class\":{},\"batch_size\":{},\"latency_us\":{},\"degraded\":{},\"logits\":{}}}",
+                    json_escape(&response.model),
+                    response.version,
+                    response.class,
+                    response.batch_size,
+                    response.latency.as_micros(),
+                    response.degraded,
+                    format_f32_array(response.logits.as_slice()),
+                ),
+                keep_alive,
+            );
+            if response.degraded {
+                reply.headers.push(("x-mfdfp-degraded", "1".to_string()));
+            }
+            reply
+        }
         Err(e) => {
             let (status, _) = status_for(&e);
-            Reply::error(status, &e.to_string(), keep_alive)
+            let mut reply = Reply::error(status, &e.to_string(), keep_alive);
+            if let ServeError::CircuitOpen { retry_after, .. } = &e {
+                // Whole seconds, rounded up — `Retry-After: 0` would
+                // invite an immediate retry against an open circuit.
+                let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+                reply.headers.push(("retry-after", secs.to_string()));
+            }
+            reply
         }
     }
 }
@@ -781,6 +858,15 @@ mod tests {
         assert_eq!(status_for(&ServeError::QuotaExceeded { model: "m".into(), quota: 1 }).0, 429);
         assert_eq!(status_for(&ServeError::DeadlineExceeded { model: "m".into() }).0, 504);
         assert_eq!(status_for(&ServeError::Closed).0, 503);
+        assert_eq!(
+            status_for(&ServeError::CircuitOpen {
+                model: "m".into(),
+                retry_after: std::time::Duration::from_millis(100),
+            })
+            .0,
+            503
+        );
+        assert_eq!(status_for(&ServeError::ShuttingDown).0, 503);
         assert_eq!(status_for(&ServeError::WorkerPanic).0, 500);
     }
 }

@@ -57,11 +57,28 @@
 //!    `serve.queue_wait`, `serve.infer`, `serve.respond`) exportable as
 //!    a Chrome/Perfetto trace.
 //!
+//! 5. **Self-healing** — a supervisor thread per server runs a worker
+//!    **watchdog** (heartbeat-stale or dead workers are respawned
+//!    crash-only and counted) and the **adaptive degradation**
+//!    controller (queue-wait p95 over [`DegradeConfig::target_p95`]
+//!    trims ensemble members one hysteretic step at a time — a degraded
+//!    answer is bit-identical to the truncated ensemble served
+//!    standalone, and flagged via [`Response::degraded`]). Per-model
+//!    **circuit breakers** ([`BreakerConfig`]) fast-fail admissions
+//!    with [`ServeError::CircuitOpen`] after consecutive dispatch
+//!    failures and recover through half-open probes with exponential
+//!    backoff. [`Server::health`] / `GET /v1/health` expose heartbeat
+//!    ages, breaker states, the degrade level and respawn counts;
+//!    [`Server::shutdown_within`] drains on a deadline, answering
+//!    leftovers with [`ServeError::ShuttingDown`] so the request
+//!    accounting still balances exactly.
+//!
 //! Failure paths are provable: the [`fault`] module compiles
 //! deterministic injection points (queue-full, worker panic, slow
-//! batch, registry-read dwell) into test builds — and to inline no-ops
-//! in production builds — so the chaos and fault harnesses in
-//! `tests/` can drive every degradation path on demand.
+//! batch, registry-read dwell, worker hang, worker death) into test
+//! builds — and to inline no-ops in production builds — so the chaos
+//! and fault harnesses in `tests/` can drive every degradation and
+//! self-healing path on demand.
 //!
 //! Batching changes *when* images are evaluated, never *what* they
 //! evaluate to: responses are byte-identical to direct `logits` calls
@@ -85,6 +102,7 @@
 
 #![deny(missing_docs)]
 
+mod breaker;
 mod config;
 mod error;
 pub mod fault;
@@ -94,13 +112,15 @@ mod queue;
 mod registry;
 mod server;
 mod shard;
+mod supervisor;
 
-pub use config::{HttpConfig, ServeConfig};
+pub use breaker::{BreakerSnapshot, BreakerState};
+pub use config::{BreakerConfig, DegradeConfig, HttpConfig, ServeConfig};
 pub use error::{Result, ServeError};
 pub use http::HttpServer;
 pub use metrics::{
     MetricsSnapshot, ModelMetrics, ModelSnapshot, ServerMetrics, StageSnapshot, StagesSnapshot,
 };
-pub use queue::{BoundedQueue, PushRejection};
+pub use queue::{BoundedQueue, PopTick, PushRejection};
 pub use registry::{ModelRegistry, ServedModel};
-pub use server::{Priority, Response, Server, SubmitOptions, Ticket};
+pub use server::{HealthSnapshot, Priority, Response, Server, ShardHealth, SubmitOptions, Ticket};

@@ -106,6 +106,16 @@ pub struct ServerMetrics {
     infer: Histogram,
     respond: Histogram,
     models: RwLock<HashMap<String, Arc<ModelMetrics>>>,
+    breaker_rejected: AtomicU64,
+    breaker_opens: AtomicU64,
+    respawns: AtomicU64,
+    degraded: AtomicU64,
+    /// Gauge, not a counter: the adaptive-degradation controller's
+    /// current level (ensemble members trimmed). Workers read it per
+    /// dispatch; only the supervisor writes it.
+    degrade_level: AtomicU64,
+    shutdown_rejected: AtomicU64,
+    http_idle_closed: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -127,6 +137,13 @@ impl ServerMetrics {
             infer: Histogram::new(),
             respond: Histogram::new(),
             models: RwLock::new(HashMap::new()),
+            breaker_rejected: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            degrade_level: AtomicU64::new(0),
+            shutdown_rejected: AtomicU64::new(0),
+            http_idle_closed: AtomicU64::new(0),
         }
     }
 
@@ -203,6 +220,61 @@ impl ServerMetrics {
         self.respond.record(time);
     }
 
+    /// Records an admission fast-failed by an open circuit breaker.
+    pub fn record_breaker_rejected(&self) {
+        self.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a circuit (re-)opening — called exactly once per trip.
+    pub fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker thread respawned by the watchdog (dead or hung).
+    pub fn record_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request answered in degraded mode (truncated ensemble).
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queued request rejected at the bounded-drain deadline.
+    pub fn record_shutdown_rejected(&self) {
+        self.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an HTTP connection closed by the keep-alive idle timeout.
+    pub fn record_http_idle_closed(&self) {
+        self.http_idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the adaptive-degradation level gauge (supervisor only).
+    pub fn set_degrade_level(&self, level: u64) {
+        self.degrade_level.store(level, Ordering::Relaxed);
+    }
+
+    /// Current adaptive-degradation level: how many ensemble members the
+    /// dispatch path trims (0 = full ensembles). Workers read this once
+    /// per dispatched group.
+    pub fn degrade_level(&self) -> u64 {
+        self.degrade_level.load(Ordering::Relaxed)
+    }
+
+    /// Raw queue-wait bucket counts (log2-µs, cumulative since start).
+    /// The supervisor differences two samples to get the distribution of
+    /// waits observed in one control tick.
+    pub(crate) fn queue_wait_bucket_counts(&self) -> Vec<u64> {
+        self.queue_wait.load_buckets()
+    }
+
+    /// Watchdog respawns so far (the health surface reads this without
+    /// paying for a full snapshot).
+    pub(crate) fn respawn_count(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
     /// Takes a consistent-enough point-in-time view (counters are read
     /// individually; relaxed skew of a few requests is acceptable for
     /// monitoring). `queue_depth` is sampled by the caller, which owns the
@@ -268,6 +340,13 @@ impl ServerMetrics {
                 respond: self.respond.snapshot(),
             },
             models,
+            breaker_rejected: self.breaker_rejected.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            degrade_level: self.degrade_level.load(Ordering::Relaxed),
+            shutdown_rejected: self.shutdown_rejected.load(Ordering::Relaxed),
+            http_idle_closed: self.http_idle_closed.load(Ordering::Relaxed),
             ops,
             energy,
             pool_threads: pool.threads,
@@ -416,8 +495,9 @@ impl ModelMetrics {
 }
 
 /// Upper bound (µs) of the bucket holding the `q`-quantile observation;
-/// 0 when nothing was recorded.
-fn percentile_upper_bound(buckets: &[u64], q: f64) -> f64 {
+/// 0 when nothing was recorded. `pub(crate)` so the supervisor can run
+/// the same estimator over per-tick bucket deltas.
+pub(crate) fn percentile_upper_bound(buckets: &[u64], q: f64) -> f64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
         return 0.0;
@@ -513,8 +593,9 @@ pub struct MetricsSnapshot {
     pub quota_rejected: u64,
     /// Requests shed by the batcher: their deadline expired before
     /// inference started, so the datapath never ran for them. Every
-    /// admitted request ends in exactly one of `completed`, `failed` or
-    /// `shed` — after a drain, `completed + failed + shed == submitted`.
+    /// admitted request ends in exactly one of `completed`, `failed`,
+    /// `shed` or `shutdown_rejected` — after a drain,
+    /// `completed + failed + shed + shutdown_rejected == submitted`.
     pub shed: u64,
     /// Requests answered successfully.
     pub completed: u64,
@@ -544,6 +625,22 @@ pub struct MetricsSnapshot {
     /// Per-model series, sorted by model name. A model appears once its
     /// first request passes admission validation.
     pub models: Vec<ModelSnapshot>,
+    /// Admissions fast-failed by an open circuit breaker.
+    pub breaker_rejected: u64,
+    /// Times any model's circuit (re-)opened.
+    pub breaker_opens: u64,
+    /// Worker threads respawned by the watchdog (dead or hung).
+    pub respawns: u64,
+    /// Requests answered in degraded mode (truncated ensemble prefix).
+    pub degraded: u64,
+    /// Adaptive-degradation level at snapshot time (gauge; 0 = full
+    /// ensembles).
+    pub degrade_level: u64,
+    /// Queued requests rejected at the bounded-drain deadline
+    /// ([`ServeError::ShuttingDown`](crate::ServeError::ShuttingDown)).
+    pub shutdown_rejected: u64,
+    /// HTTP keep-alive connections closed by the idle timeout.
+    pub http_idle_closed: u64,
     /// Process-wide datapath op counters (monotonic since process
     /// start; all-zero without the `obs` feature).
     pub ops: OpCounters,
@@ -566,7 +663,8 @@ pub struct MetricsSnapshot {
 
 /// Minimal JSON string escaping for model names (labels under the
 /// caller's control, but the exporter stays correct for any name).
-fn json_escape(s: &str) -> String {
+/// `pub(crate)` so the health surface escapes names the same way.
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -606,6 +704,10 @@ impl MetricsSnapshot {
     ///   `{count, mean, p50, p95, p99}` (µs);
     /// * `models` — name-keyed object, one entry per served model with
     ///   its own counters, `latency_us` and `batch_histogram`;
+    /// * `resilience` — the self-healing counters: watchdog `respawns`,
+    ///   breaker fast-fails and opens, degraded answers and the current
+    ///   `degrade_level` gauge, drain-deadline `shutdown_rejected`, and
+    ///   `http_idle_closed` keep-alive reaps;
     /// * `ops` — process-wide datapath op counters (zeros without the
     ///   `obs` feature);
     /// * `energy_estimate` — `ops` priced in µJ by the calibrated
@@ -656,6 +758,9 @@ impl MetricsSnapshot {
                 "\"batch_histogram\":[{}],",
                 "\"stages\":{{\"queue_wait\":{},\"infer\":{},\"respond\":{}}},",
                 "\"models\":{{{}}},",
+                "\"resilience\":{{\"respawns\":{},\"breaker_rejected\":{},",
+                "\"breaker_opens\":{},\"degraded\":{},\"degrade_level\":{},",
+                "\"shutdown_rejected\":{},\"http_idle_closed\":{}}},",
                 "\"ops\":{{\"shift_macs\":{},\"im2col_bytes\":{},",
                 "\"decode_rows\":{},\"overflow_audits\":{}}},",
                 "\"energy_estimate\":{{\"mac_uj\":{:.3},\"sram_uj\":{:.3},",
@@ -683,6 +788,13 @@ impl MetricsSnapshot {
             stage_json(&self.stages.infer),
             stage_json(&self.stages.respond),
             models.join(","),
+            self.respawns,
+            self.breaker_rejected,
+            self.breaker_opens,
+            self.degraded,
+            self.degrade_level,
+            self.shutdown_rejected,
+            self.http_idle_closed,
             self.ops.shift_macs,
             self.ops.im2col_bytes,
             self.ops.decode_rows,
@@ -906,6 +1018,10 @@ mod tests {
             "\"infer\":{\"count\":0",
             "\"respond\":{\"count\":0",
             "\"models\":{\"tiny\":{\"submitted\":0",
+            "\"resilience\":{\"respawns\":0",
+            "\"breaker_opens\":0",
+            "\"degrade_level\":0",
+            "\"http_idle_closed\":0",
             "\"ops\":{\"shift_macs\":",
             "\"overflow_audits\":",
             "\"energy_estimate\":{\"mac_uj\":",
@@ -920,6 +1036,48 @@ mod tests {
         // JSON parser in the dependency-free workspace).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn resilience_counters_and_gauge_accumulate() {
+        let m = ServerMetrics::new(1);
+        m.record_respawn();
+        m.record_breaker_rejected();
+        m.record_breaker_rejected();
+        m.record_breaker_open();
+        m.record_degraded();
+        m.record_shutdown_rejected();
+        m.record_http_idle_closed();
+        m.set_degrade_level(2);
+        assert_eq!(m.degrade_level(), 2);
+        let s = m.snapshot(0);
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.breaker_rejected, 2);
+        assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.degrade_level, 2);
+        assert_eq!(s.shutdown_rejected, 1);
+        assert_eq!(s.http_idle_closed, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"breaker_rejected\":2"), "{json}");
+        assert!(json.contains("\"degrade_level\":2"), "{json}");
+        // The gauge is a gauge: it moves both ways.
+        m.set_degrade_level(0);
+        assert_eq!(m.degrade_level(), 0);
+    }
+
+    #[test]
+    fn queue_wait_buckets_expose_cumulative_counts_for_deltas() {
+        let m = ServerMetrics::new(1);
+        let before = m.queue_wait_bucket_counts();
+        assert_eq!(before.iter().sum::<u64>(), 0);
+        m.record_queue_wait(Duration::from_micros(100));
+        m.record_queue_wait(Duration::from_micros(100_000));
+        let after = m.queue_wait_bucket_counts();
+        let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        assert_eq!(delta.iter().sum::<u64>(), 2);
+        // The same estimator the snapshot uses works on the delta.
+        assert!(percentile_upper_bound(&delta, 0.95) >= 100_000.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! which is the heart of the micro-batcher.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Why a push was refused.
@@ -16,6 +16,19 @@ pub enum PushRejection {
     /// The queue held `capacity` items.
     Full,
     /// The queue was closed.
+    Closed,
+}
+
+/// Outcome of a [`BoundedQueue::pop_batch_ticked`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopTick<T> {
+    /// At least one item arrived; a batch was formed as in
+    /// [`BoundedQueue::pop_batch`].
+    Batch(Vec<T>),
+    /// Nothing arrived within the tick; the consumer gets control back
+    /// (to heartbeat, in the serve workers) and should call again.
+    Idle,
+    /// The queue is closed and fully drained.
     Closed,
 }
 
@@ -150,6 +163,44 @@ impl<T> BoundedQueue<T> {
             }
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
+        Some(self.form_batch(inner, max, max_wait))
+    }
+
+    /// [`BoundedQueue::pop_batch`] with a bounded park: instead of
+    /// blocking indefinitely on an empty queue, the consumer gets
+    /// control back after `tick` with [`PopTick::Idle`]. This is how a
+    /// serve worker parked on an idle queue still beats its heartbeat —
+    /// the watchdog can then apply one uniform "stale heartbeat ⇒ hung"
+    /// rule whether a worker is stuck in dispatch or healthy-but-idle.
+    pub fn pop_batch_ticked(&self, max: usize, max_wait: Duration, tick: Duration) -> PopTick<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let tick_deadline = Instant::now() + tick;
+        loop {
+            if inner.len() > 0 {
+                break;
+            }
+            if inner.closed {
+                return PopTick::Closed;
+            }
+            let now = Instant::now();
+            if now >= tick_deadline {
+                return PopTick::Idle;
+            }
+            let (guard, _) =
+                self.not_empty.wait_timeout(inner, tick_deadline - now).expect("queue poisoned");
+            inner = guard;
+        }
+        PopTick::Batch(self.form_batch(inner, max, max_wait))
+    }
+
+    /// Forms a batch starting from a non-empty queue whose lock the
+    /// caller already holds (the shared tail of both pop entries).
+    fn form_batch(
+        &self,
+        mut inner: MutexGuard<'_, Inner<T>>,
+        max: usize,
+        max_wait: Duration,
+    ) -> Vec<T> {
         if !inner.priority.is_empty() {
             let take = max.max(1).min(inner.priority.len());
             let batch: Vec<T> = inner.priority.drain(..take).collect();
@@ -157,7 +208,7 @@ impl<T> BoundedQueue<T> {
                 drop(inner);
                 self.not_empty.notify_one();
             }
-            return Some(batch);
+            return batch;
         }
         let mut batch = Vec::with_capacity(max.min(inner.items.len()));
         let deadline = Instant::now() + max_wait;
@@ -189,7 +240,18 @@ impl<T> BoundedQueue<T> {
             drop(inner);
             self.not_empty.notify_one();
         }
-        Some(batch)
+        batch
+    }
+
+    /// Drains every queued item without blocking, priority lane first —
+    /// the bounded-drain shutdown path, which *answers* whatever is
+    /// still queued at the drain deadline instead of waiting for the
+    /// workers to compute it.
+    pub fn drain_pending(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut out: Vec<T> = inner.priority.drain(..).collect();
+        out.extend(inner.items.drain(..));
+        out
     }
 
     /// Closes the queue: producers are rejected from now on, consumers
@@ -307,6 +369,57 @@ mod tests {
         assert_eq!(why, PushRejection::Full);
         let (_, why) = q.try_push_priority(4).unwrap_err();
         assert_eq!(why, PushRejection::Full);
+    }
+
+    #[test]
+    fn ticked_pop_reports_idle_batches_and_closure() {
+        let q = BoundedQueue::new(8);
+        // Empty + open: the tick elapses and control comes back.
+        let started = Instant::now();
+        assert_eq!(q.pop_batch_ticked(4, Duration::ZERO, Duration::from_millis(5)), PopTick::Idle);
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        // Items present: batches form exactly as in pop_batch.
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push_priority(9).unwrap();
+        assert_eq!(
+            q.pop_batch_ticked(4, Duration::from_secs(30), Duration::from_secs(30)),
+            PopTick::Batch(vec![9]),
+            "priority items must pop first and without lingering"
+        );
+        assert_eq!(
+            q.pop_batch_ticked(4, Duration::ZERO, Duration::from_secs(30)),
+            PopTick::Batch(vec![1, 2])
+        );
+        // Closed + drained: terminal.
+        q.close();
+        assert_eq!(q.pop_batch_ticked(4, Duration::ZERO, Duration::from_secs(30)), PopTick::Closed);
+    }
+
+    #[test]
+    fn ticked_pop_wakes_on_push_before_the_tick() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            q2.pop_batch_ticked(4, Duration::from_millis(1), Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        q.try_push(42).unwrap();
+        match consumer.join().unwrap() {
+            PopTick::Batch(batch) => assert!(batch.contains(&42)),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_pending_empties_both_lanes_without_blocking() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push_priority(9).unwrap();
+        assert_eq!(q.drain_pending(), vec![9, 1, 2], "priority lane drains first");
+        assert!(q.is_empty());
+        assert_eq!(q.drain_pending(), Vec::<i32>::new());
     }
 
     #[test]

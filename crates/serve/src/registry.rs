@@ -51,10 +51,23 @@ impl ServedModel {
         }
     }
 
+    /// Number of ensemble members (1 for a single network) — the upper
+    /// bound of the degradation dial a dispatch worker may truncate to.
+    pub fn members(&self) -> usize {
+        match self {
+            ServedModel::Single(_) => 1,
+            ServedModel::Ensemble(e) => e.len(),
+        }
+    }
+
     /// The allocation-free batched-logits entry the dispatch workers use:
     /// `data` is `n` images flat, `out` receives the `n × classes` logits
-    /// row-major, and all scratch comes from `ws`. Values are identical
-    /// to [`ServedModel::logits_batch`] on the same stacked batch.
+    /// row-major, and all scratch comes from `ws`. With
+    /// `members == self.members()` the values are identical to
+    /// [`ServedModel::logits_batch`] on the same stacked batch; a smaller
+    /// `members` serves an ensemble's member *prefix*, bit-identical to a
+    /// standalone `members`-sized ensemble (see
+    /// [`Ensemble::logits_batch_into`]). Single networks ignore the dial.
     ///
     /// # Errors
     ///
@@ -65,10 +78,11 @@ impl ServedModel {
         n: usize,
         ws: &mut Workspace,
         out: &mut [f32],
+        members: usize,
     ) -> std::result::Result<(), CoreError> {
         match self {
             ServedModel::Single(net) => net.logits_batch_into(data, n, ws, out),
-            ServedModel::Ensemble(e) => e.logits_batch_into(data, n, ws, out),
+            ServedModel::Ensemble(e) => e.logits_batch_into(data, n, ws, out, members),
         }
     }
 

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use mfdfp_tensor::Tensor;
 
+use crate::breaker::{Admission, BreakerBoard, BreakerSnapshot, CircuitBreaker};
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
 use crate::fault;
@@ -17,6 +18,7 @@ use crate::metrics::{MetricsSnapshot, ModelMetrics, ServerMetrics};
 use crate::queue::PushRejection;
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::shard::Shard;
+use crate::supervisor::Supervisor;
 
 /// A finished inference answer.
 #[derive(Debug, Clone)]
@@ -37,6 +39,14 @@ pub struct Response {
     pub batch_size: usize,
     /// End-to-end latency: admission to response (queue wait + inference).
     pub latency: std::time::Duration,
+    /// Whether this answer was served in degraded mode: the adaptive
+    /// degradation controller trimmed ensemble members to shed compute
+    /// under overload. A degraded answer is still bit-identical to a
+    /// standalone ensemble of the served prefix — smaller ensemble, not
+    /// different arithmetic. Always `false` for single models. Surfaced
+    /// over HTTP as the `x-mfdfp-degraded: 1` header and the `degraded`
+    /// JSON field.
+    pub degraded: bool,
 }
 
 /// A claim on a response that has not necessarily been computed yet.
@@ -100,6 +110,10 @@ pub(crate) struct Request {
     pub(crate) submitted_ns: u64,
     /// Absolute shed deadline (admission time + the caller's budget).
     pub(crate) deadline: Option<Instant>,
+    /// The model's circuit breaker (`None` when breakers are disabled):
+    /// workers report the dispatch outcome, shed/drain paths release a
+    /// held probe slot.
+    pub(crate) breaker: Option<Arc<CircuitBreaker>>,
     pub(crate) tx: mpsc::Sender<Result<Response>>,
 }
 
@@ -120,11 +134,15 @@ pub struct Server {
     registry: Arc<ModelRegistry>,
     shards: Vec<Shard>,
     metrics: Arc<ServerMetrics>,
+    breakers: Option<BreakerBoard>,
+    supervisor: Supervisor,
     config: ServeConfig,
 }
 
 impl Server {
-    /// Validates `config` and spawns the per-shard worker pools.
+    /// Validates `config`, spawns the per-shard worker pools and the
+    /// supervisor thread (worker watchdog + adaptive degradation
+    /// controller; see the `supervisor` module docs).
     ///
     /// # Errors
     ///
@@ -134,7 +152,9 @@ impl Server {
         let metrics = Arc::new(ServerMetrics::new(config.max_batch));
         let shards =
             (0..config.shards).map(|id| Shard::start(id, &config, &metrics)).collect::<Vec<_>>();
-        Ok(Server { registry, shards, metrics, config })
+        let breakers = config.breaker.clone().map(BreakerBoard::new);
+        let supervisor = Supervisor::start(shards.clone(), Arc::clone(&metrics), config.clone());
+        Ok(Server { registry, shards, metrics, breakers, supervisor, config })
     }
 
     /// Admits one inference request for `model` on a single image tensor
@@ -215,11 +235,25 @@ impl Server {
         }
         let metrics_model = self.metrics.model(model);
         metrics_model.note_version(version);
+        // Circuit breaker: an open circuit fast-fails here, before any
+        // quota slot or queue capacity is consumed. An allowed admission
+        // may hold a half-open probe slot, so every later rejection path
+        // must discard it.
+        let breaker = self.breakers.as_ref().map(|board| board.get(model));
+        if let Some(breaker) = &breaker {
+            if let Admission::Rejected { retry_after } = breaker.try_admit(Instant::now()) {
+                self.metrics.record_breaker_rejected();
+                return Err(ServeError::CircuitOpen { model: model.to_string(), retry_after });
+            }
+        }
         // Quota slot: held from admission to terminal answer (response,
         // failure or shed), so `in_flight` counts queued + computing.
         if !metrics_model.try_acquire_slot(self.config.model_quota) {
             self.metrics.record_quota_rejected();
             metrics_model.record_quota_rejected();
+            if let Some(breaker) = &breaker {
+                breaker.record_discarded();
+            }
             return Err(ServeError::QuotaExceeded {
                 model: model.to_string(),
                 quota: self.config.model_quota.unwrap_or(0),
@@ -236,6 +270,7 @@ impl Server {
             submitted,
             submitted_ns: mfdfp_obs::now_ns(),
             deadline: opts.deadline.map(|d| submitted + d),
+            breaker: breaker.clone(),
             tx,
         };
         let shard = &self.shards[Self::route(model, self.shards.len())];
@@ -257,11 +292,17 @@ impl Server {
             }
             Err((_, PushRejection::Full)) => {
                 metrics_model.release_slot();
+                if let Some(breaker) = &breaker {
+                    breaker.record_discarded();
+                }
                 self.metrics.record_rejected();
                 Err(ServeError::QueueFull { capacity: shard.queue().capacity() })
             }
             Err((_, PushRejection::Closed)) => {
                 metrics_model.release_slot();
+                if let Some(breaker) = &breaker {
+                    breaker.record_discarded();
+                }
                 Err(ServeError::Closed)
             }
         }
@@ -293,6 +334,12 @@ impl Server {
         &self.registry
     }
 
+    /// The live metrics recorder (crate-internal: the HTTP front-end
+    /// counts idle-timeout closes against it).
+    pub(crate) fn metrics_inner(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
     /// The configuration the server was started with.
     pub fn config(&self) -> &ServeConfig {
         &self.config
@@ -307,6 +354,43 @@ impl Server {
         self.metrics.snapshot_sharded(&depths)
     }
 
+    /// The self-healing status surface: per-shard worker heartbeat ages
+    /// and queue depths, per-model breaker states, the degradation
+    /// level and the respawn count. Served over HTTP as
+    /// `GET /v1/health`; its `ready` bit alone as `GET /v1/ready`.
+    pub fn health(&self) -> HealthSnapshot {
+        let now = Instant::now();
+        let shards: Vec<ShardHealth> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardHealth {
+                shard: i,
+                queue_depth: shard.depth(),
+                heartbeat_ages: shard.heartbeat_ages(),
+            })
+            .collect();
+        // Ready = every shard still has at least one worker beating
+        // within the hang timeout (a shard past that is either fully
+        // hung — about to be respawned — or being torn down).
+        let ready = shards
+            .iter()
+            .all(|s| s.heartbeat_ages.iter().any(|age| *age <= self.config.hang_timeout));
+        HealthSnapshot {
+            ready,
+            shards,
+            breakers: self.breakers.as_ref().map(|b| b.snapshot(now)).unwrap_or_default(),
+            degrade_level: self.metrics.degrade_level(),
+            respawns: self.metrics.respawn_count(),
+        }
+    }
+
+    /// Readiness probe: `true` while every shard has a worker whose
+    /// heartbeat is fresher than [`ServeConfig::hang_timeout`].
+    pub fn ready(&self) -> bool {
+        self.health().ready
+    }
+
     /// Stable shard index for `model`: `hash(name) % shards`.
     /// `DefaultHasher::new()` uses fixed keys, so the mapping is
     /// deterministic across processes and runs.
@@ -316,12 +400,53 @@ impl Server {
         (hasher.finish() % shards as u64) as usize
     }
 
-    /// Stops admissions, drains queued requests and joins the workers.
+    /// Stops admissions, drains queued requests and joins the workers
+    /// (unbounded drain: every queued request is still answered).
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
+    /// Graceful shutdown with a **bounded** drain: admissions stop
+    /// immediately, queued requests get up to `drain` to dispatch, and
+    /// whatever is still queued at the deadline is answered with
+    /// [`ServeError::ShuttingDown`] and counted in `shutdown_rejected` —
+    /// so shutdown can never be held hostage by a deep queue, and the
+    /// accounting identity still balances exactly:
+    /// `completed + failed + shed + shutdown_rejected == submitted`.
+    /// (In-flight batches already at a worker always finish; the bound
+    /// applies to queue wait, not to compute.) Returns the final metrics
+    /// snapshot, taken after every worker has joined, so callers can
+    /// audit that identity.
+    pub fn shutdown_within(mut self, drain: Duration) -> MetricsSnapshot {
+        // Stop the supervisor first — its watchdog must not respawn the
+        // workers this drain is about to join.
+        self.supervisor.stop();
+        for shard in &self.shards {
+            shard.close();
+        }
+        let deadline = Instant::now() + drain;
+        while self.shards.iter().any(|s| s.depth() > 0) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for shard in &self.shards {
+            for request in shard.queue().drain_pending() {
+                self.metrics.record_shutdown_rejected();
+                request.metrics_model.release_slot();
+                if let Some(breaker) = &request.breaker {
+                    breaker.record_discarded();
+                }
+                let _ = request.tx.send(Err(ServeError::ShuttingDown));
+            }
+        }
+        for shard in &mut self.shards {
+            shard.join();
+        }
+        let depths: Vec<usize> = self.shards.iter().map(Shard::depth).collect();
+        self.metrics.snapshot_sharded(&depths)
+    }
+
     fn shutdown_in_place(&mut self) {
+        self.supervisor.stop();
         for shard in &self.shards {
             shard.close();
         }
@@ -334,6 +459,92 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown_in_place();
+    }
+}
+
+/// One shard's supervision view inside a [`HealthSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index (the routing target `hash(model) % shards`).
+    pub shard: usize,
+    /// Requests queued on this shard at sample time.
+    pub queue_depth: usize,
+    /// Each worker slot's heartbeat age at sample time. An age past
+    /// [`ServeConfig::hang_timeout`] means the watchdog is about to
+    /// replace that worker.
+    pub heartbeat_ages: Vec<Duration>,
+}
+
+/// The self-healing status surface returned by [`Server::health`] and
+/// served at `GET /v1/health`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Every shard has at least one worker whose heartbeat is fresher
+    /// than the hang timeout (the `GET /v1/ready` bit).
+    pub ready: bool,
+    /// Per-shard queue depth and worker heartbeat ages.
+    pub shards: Vec<ShardHealth>,
+    /// Per-model circuit-breaker snapshots, sorted by model name (empty
+    /// while no model has been submitted to, or when breakers are
+    /// disabled).
+    pub breakers: Vec<(String, BreakerSnapshot)>,
+    /// Current adaptive-degradation level (0 = full ensembles served).
+    pub degrade_level: u64,
+    /// Watchdog worker respawns since the server started.
+    pub respawns: u64,
+}
+
+impl HealthSnapshot {
+    /// Serialises the snapshot as a self-contained JSON object with
+    /// stable key order (hand-rolled like
+    /// [`MetricsSnapshot::to_json`]): the `ready` bit, the
+    /// `degrade_level` gauge, the `respawns` counter, a `shards` array
+    /// (`{shard, queue_depth, heartbeat_ages_ms}`) and a name-keyed
+    /// `breakers` object
+    /// (`{state, consecutive_failures, retry_in_ms, opens}`).
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let ages: Vec<String> = s
+                    .heartbeat_ages
+                    .iter()
+                    .map(|age| format!("{:.3}", age.as_secs_f64() * 1000.0))
+                    .collect();
+                format!(
+                    "{{\"shard\":{},\"queue_depth\":{},\"heartbeat_ages_ms\":[{}]}}",
+                    s.shard,
+                    s.queue_depth,
+                    ages.join(",")
+                )
+            })
+            .collect();
+        let breakers: Vec<String> = self
+            .breakers
+            .iter()
+            .map(|(name, b)| {
+                format!(
+                    concat!(
+                        "\"{}\":{{\"state\":\"{}\",\"consecutive_failures\":{},",
+                        "\"retry_in_ms\":{:.3},\"opens\":{}}}"
+                    ),
+                    crate::metrics::json_escape(name),
+                    b.state.name(),
+                    b.consecutive_failures,
+                    b.retry_in.unwrap_or_default().as_secs_f64() * 1000.0,
+                    b.opens,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"ready\":{},\"degrade_level\":{},\"respawns\":{},\"shards\":[{}],\"breakers\":{{{}}}}}",
+            self.ready,
+            self.degrade_level,
+            self.respawns,
+            shards.join(","),
+            breakers.join(","),
+        )
     }
 }
 

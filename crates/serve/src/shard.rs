@@ -16,67 +16,172 @@
 //!   is held across the unwind, so nothing is poisoned);
 //! * **priority lane** — the queue's priority lane is popped first and
 //!   dispatched immediately (see
-//!   [`BoundedQueue::pop_batch`](crate::BoundedQueue::pop_batch)).
+//!   [`BoundedQueue::pop_batch`](crate::BoundedQueue::pop_batch));
+//! * **supervision** — every worker publishes a heartbeat (nanoseconds
+//!   since the shard's origin instant, stored at the top of its loop;
+//!   the ticked pop keeps idle workers beating). The server's supervisor
+//!   calls [`Shard::supervise`] each control tick: a worker whose thread
+//!   finished (death outside the dispatch containment) or whose beat is
+//!   older than [`ServeConfig::hang_timeout`] is replaced crash-only — a
+//!   fresh worker takes its queue slot immediately, the hung thread is
+//!   detached (its in-flight batch still answers its tickets whenever
+//!   the stall ends, because tickets and queue `Arc`s outlive the slot),
+//!   and the respawn is counted;
+//! * **adaptive degradation** — dispatch reads the server-wide degrade
+//!   level and serves ensembles with that many members trimmed off the
+//!   end (never below one); prefix summation order is unchanged, so a
+//!   degraded `k`-member answer is bit-identical to a standalone
+//!   `k`-member ensemble, and the response is flagged degraded;
+//! * **circuit-breaker feedback** — each dispatched group reports its
+//!   outcome (success / worker panic / inference fault) to the
+//!   originating model's breaker exactly once per group.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mfdfp_tensor::{Tensor, Workspace};
 
+use crate::breaker::CircuitBreaker;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::fault;
 use crate::metrics::ServerMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, PopTick};
 use crate::server::{Request, Response};
 
-/// One independent queue + worker-pool unit of a sharded server.
+/// One worker thread's supervision slot: its join handle plus the
+/// heartbeat it publishes (ns since the shard's origin).
+struct WorkerSlot {
+    handle: JoinHandle<()>,
+    beat_ns: Arc<AtomicU64>,
+}
+
+/// The shard state shared between the server, its workers and the
+/// supervisor (all hold `Arc`s, so a replaced worker never strands the
+/// queue).
+pub(crate) struct ShardInner {
+    id: usize,
+    queue: BoundedQueue<Request>,
+    /// Heartbeat epoch: beats are ns since this instant, so one relaxed
+    /// `u64` store publishes a beat.
+    origin: Instant,
+    workers: Mutex<Vec<WorkerSlot>>,
+    /// Total workers ever spawned on this shard (names respawns
+    /// uniquely: `mfdfp-serve-<shard>.<spawn#>`).
+    spawned: AtomicU64,
+}
+
+impl ShardInner {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Spawns one worker thread and returns its supervision slot.
+    fn spawn_worker(
+        self: &Arc<Self>,
+        metrics: &Arc<ServerMetrics>,
+        cfg: &ServeConfig,
+    ) -> WorkerSlot {
+        let n = self.spawned.fetch_add(1, Ordering::Relaxed);
+        let beat_ns = Arc::new(AtomicU64::new(self.now_ns()));
+        let beat = Arc::clone(&beat_ns);
+        let inner = Arc::clone(self);
+        let metrics = Arc::clone(metrics);
+        let cfg = cfg.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mfdfp-serve-{}.{}", self.id, n))
+            .spawn(move || worker_loop(&inner, &metrics, &cfg, &beat))
+            .expect("failed to spawn serving worker");
+        WorkerSlot { handle, beat_ns }
+    }
+}
+
+/// One independent queue + worker-pool unit of a sharded server. Clones
+/// share the same shard (the supervisor holds one per shard).
+#[derive(Clone)]
 pub(crate) struct Shard {
-    queue: Arc<BoundedQueue<Request>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: Arc<ShardInner>,
 }
 
 impl Shard {
     /// Spawns the shard's worker pool over a fresh bounded queue.
     pub(crate) fn start(id: usize, config: &ServeConfig, metrics: &Arc<ServerMetrics>) -> Shard {
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let workers = (0..config.workers)
-            .map(|w| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(metrics);
-                let cfg = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("mfdfp-serve-{id}.{w}"))
-                    .spawn(move || worker_loop(&queue, &metrics, &cfg))
-                    .expect("failed to spawn serving worker")
-            })
-            .collect();
-        Shard { queue, workers }
+        let inner = Arc::new(ShardInner {
+            id,
+            queue: BoundedQueue::new(config.queue_capacity),
+            origin: Instant::now(),
+            workers: Mutex::new(Vec::new()),
+            spawned: AtomicU64::new(0),
+        });
+        let slots: Vec<WorkerSlot> =
+            (0..config.workers).map(|_| inner.spawn_worker(metrics, config)).collect();
+        *inner.workers.lock().expect("shard workers poisoned") = slots;
+        Shard { inner }
     }
 
     /// The shard's request queue (admission pushes into it).
     pub(crate) fn queue(&self) -> &BoundedQueue<Request> {
-        &self.queue
+        &self.inner.queue
     }
 
     /// Items currently queued on this shard.
     pub(crate) fn depth(&self) -> usize {
-        self.queue.len()
+        self.inner.queue.len()
     }
 
     /// Stops admissions into this shard.
     pub(crate) fn close(&self) {
-        self.queue.close();
+        self.inner.queue.close();
     }
 
-    /// Joins the shard's workers (the queue must already be closed).
+    /// Joins the shard's workers (the queue must already be closed, and
+    /// the supervisor stopped — otherwise it would respawn what we join).
     pub(crate) fn join(&mut self) {
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        let slots: Vec<WorkerSlot> =
+            std::mem::take(&mut *self.inner.workers.lock().expect("shard workers poisoned"));
+        for slot in slots {
+            let _ = slot.handle.join();
         }
+    }
+
+    /// One watchdog pass: replace every worker whose thread finished
+    /// (died outside the dispatch containment) or whose heartbeat is
+    /// older than [`ServeConfig::hang_timeout`]. Replacement is
+    /// crash-only — the fresh worker starts pulling from the queue
+    /// immediately; a dead thread is reaped, a hung one detached (its
+    /// in-flight batch still answers whenever the stall ends). Each
+    /// replacement bumps the `respawns` counter.
+    pub(crate) fn supervise(&self, metrics: &Arc<ServerMetrics>, cfg: &ServeConfig) {
+        let hang_ns = cfg.hang_timeout.as_nanos() as u64;
+        let mut workers = self.inner.workers.lock().expect("shard workers poisoned");
+        let now_ns = self.inner.now_ns();
+        for slot in workers.iter_mut() {
+            let dead = slot.handle.is_finished();
+            let hung = now_ns.saturating_sub(slot.beat_ns.load(Ordering::Relaxed)) > hang_ns;
+            if !(dead || hung) {
+                continue;
+            }
+            let fresh = self.inner.spawn_worker(metrics, cfg);
+            let old = std::mem::replace(slot, fresh);
+            if dead {
+                let _ = old.handle.join();
+            }
+            metrics.record_respawn();
+        }
+    }
+
+    /// Each live worker's heartbeat age (for the health surface).
+    pub(crate) fn heartbeat_ages(&self) -> Vec<Duration> {
+        let workers = self.inner.workers.lock().expect("shard workers poisoned");
+        let now_ns = self.inner.now_ns();
+        workers
+            .iter()
+            .map(|s| Duration::from_nanos(now_ns.saturating_sub(s.beat_ns.load(Ordering::Relaxed))))
+            .collect()
     }
 }
 
@@ -97,14 +202,24 @@ impl Shard {
 /// `shards × workers + pool width − 1` threads (see README "Threading
 /// model" for sizing guidance). Without the feature, groups run inline
 /// and the pool is never engaged.
-fn worker_loop(queue: &BoundedQueue<Request>, metrics: &ServerMetrics, cfg: &ServeConfig) {
+fn worker_loop(inner: &ShardInner, metrics: &ServerMetrics, cfg: &ServeConfig, beat: &AtomicU64) {
     loop {
+        // Heartbeat: published at the top of every iteration. The ticked
+        // pop below returns `Idle` at least every `supervise_interval`,
+        // so an idle worker keeps beating; a worker stuck inside a
+        // dispatch stops beating and goes stale.
+        beat.store(inner.now_ns(), Ordering::Relaxed);
+        fault::maybe_worker_die();
         // Batch formation spans the blocking pop + linger window, so the
         // trace shows how long each worker spent coalescing vs idle.
         let formed_from = mfdfp_obs::now_ns();
-        let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) else {
-            break;
-        };
+        let batch =
+            match inner.queue.pop_batch_ticked(cfg.max_batch, cfg.max_wait, cfg.supervise_interval)
+            {
+                PopTick::Idle => continue,
+                PopTick::Closed => break,
+                PopTick::Batch(batch) => batch,
+            };
         mfdfp_obs::record_complete(
             "serve.batch_form",
             batch.len() as u64,
@@ -139,6 +254,11 @@ fn shed_expired(batch: Vec<Request>, metrics: &ServerMetrics) -> Vec<Request> {
                 metrics.record_shed();
                 request.metrics_model.record_shed();
                 request.metrics_model.release_slot();
+                // The model was never exercised: release a held breaker
+                // probe slot without judging the outcome.
+                if let Some(b) = &request.breaker {
+                    b.record_discarded();
+                }
                 let err = ServeError::DeadlineExceeded { model: request.model_name.clone() };
                 let _ = request.tx.send(Err(err));
                 shed += 1;
@@ -253,12 +373,22 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
     let model = group[0].model.clone();
     let batch_size = group.len();
     let classes = model.classes();
+    // Adaptive degradation: the supervisor's level gauge trims that many
+    // ensemble members off the end of the dispatch (never below one
+    // member; single models are unaffected). Prefix order is unchanged,
+    // so a degraded k-member answer is bit-identical to a standalone
+    // k-member ensemble.
+    let total_members = model.members();
+    let level = (metrics.degrade_level() as usize).min(total_members.saturating_sub(1));
+    let members = total_members - level;
+    let degraded = members < total_members;
     // The compute half runs under `catch_unwind` so an injected (or
     // real) panic degrades to a typed per-request error instead of
     // killing the worker; the group itself stays outside the closure so
     // its tickets can still be answered after an unwind.
     let inference = with_worker_scratch(|scratch| {
         catch_unwind(AssertUnwindSafe(|| {
+            fault::maybe_worker_hang();
             fault::maybe_slow_batch();
             fault::maybe_worker_panic();
             scratch.data.clear();
@@ -280,6 +410,7 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
                     batch_size,
                     &mut scratch.ws,
                     &mut scratch.logits,
+                    members,
                 )
             };
             metrics.record_infer(infer_started.elapsed());
@@ -288,12 +419,16 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
     });
     match inference {
         Ok(Ok(logits)) => {
+            record_group_outcome(&group, metrics, true);
             let respond_started = Instant::now();
             let _span = mfdfp_obs::span!("serve.respond", batch_size as u64);
             for (row, request) in logits.chunks(classes).zip(group) {
                 let latency = request.submitted.elapsed();
                 request.metrics_model.record_completed(latency);
                 request.metrics_model.release_slot();
+                if degraded {
+                    metrics.record_degraded();
+                }
                 let logits = Tensor::from_slice(row);
                 let response = Response {
                     model: request.model_name,
@@ -302,6 +437,7 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
                     logits,
                     batch_size,
                     latency,
+                    degraded,
                 };
                 metrics.record_completed(response.latency);
                 // A dropped Ticket is not an error; the work is done.
@@ -309,17 +445,48 @@ fn dispatch_group(group: Vec<Request>, metrics: &ServerMetrics) {
             }
             metrics.record_respond(respond_started.elapsed());
         }
-        Ok(Err(e)) => fail_group(group, metrics, ServeError::Inference(e)),
-        Err(_panic) => fail_group(group, metrics, ServeError::WorkerPanic),
+        Ok(Err(e)) => {
+            record_group_outcome(&group, metrics, false);
+            fail_group(group, metrics, ServeError::Inference(e));
+        }
+        Err(_panic) => {
+            record_group_outcome(&group, metrics, false);
+            fail_group(group, metrics, ServeError::WorkerPanic);
+        }
+    }
+}
+
+/// Reports a dispatched group's outcome to each *distinct* breaker in it
+/// exactly once (groups key on model identity, so two registry names
+/// sharing one network can land in one group — each name's breaker gets
+/// one verdict, never one per request). A trip bumps `breaker_opens`.
+fn record_group_outcome(group: &[Request], metrics: &ServerMetrics, success: bool) {
+    let now = Instant::now();
+    let mut seen: Vec<*const CircuitBreaker> = Vec::new();
+    for request in group {
+        let Some(breaker) = &request.breaker else { continue };
+        let ptr = Arc::as_ptr(breaker);
+        if seen.contains(&ptr) {
+            continue;
+        }
+        seen.push(ptr);
+        if success {
+            breaker.record_success();
+        } else if breaker.record_failure(now) {
+            metrics.record_breaker_open();
+        }
     }
 }
 
 /// Answers every member of a group with `err` and records the failures.
 fn fail_group(group: Vec<Request>, metrics: &ServerMetrics, err: ServeError) {
     for request in group {
-        let _ = request.tx.send(Err(err.clone()));
+        // Count before answering: a client that wakes on this error and
+        // immediately snapshots the metrics must already see its failure
+        // counted (the success path orders itself the same way).
         metrics.record_failed();
         request.metrics_model.record_failed();
         request.metrics_model.release_slot();
+        let _ = request.tx.send(Err(err.clone()));
     }
 }

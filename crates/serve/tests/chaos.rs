@@ -66,6 +66,7 @@ fn hot_swap_under_concurrent_traffic_never_tears_a_response() {
                 max_batch: 8,
                 max_wait: Duration::from_micros(500),
                 model_quota: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap(),

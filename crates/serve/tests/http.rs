@@ -288,3 +288,123 @@ fn http_shutdown_stops_accepting_but_server_survives() {
         }
     }
 }
+
+/// Like [`start_http`] but with a custom [`HttpConfig`].
+fn start_http_with(qnet: &QuantizedNet, http_config: HttpConfig) -> (HttpServer, Arc<Server>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("tiny", qnet.clone());
+    let server = Arc::new(Server::start(registry, ServeConfig::default()).unwrap());
+    let http = HttpServer::bind(Arc::clone(&server), "127.0.0.1:0", http_config).unwrap();
+    (http, server)
+}
+
+#[test]
+fn idle_keep_alive_connection_is_answered_408_and_reaped() {
+    let qnet = tiny_qnet(17);
+    let (http, server) = start_http_with(
+        &qnet,
+        HttpConfig {
+            idle_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    // A completed request resets the idle clock: the connection is
+    // healthy keep-alive first.
+    let img = TensorRng::seed_from(5).gaussian([3, 16, 16], 0.0, 0.7);
+    let body = format_f32_array(img.as_slice());
+    let bytes = encode_request("POST", "/v1/infer/tiny", &[], body.as_bytes());
+    let (status, _) = roundtrip(&mut stream, &bytes);
+    assert_eq!(status, 200);
+
+    // Then silence: at the deadline the server answers 408 and closes,
+    // releasing the connection slot instead of leaking it forever.
+    let idle_started = std::time::Instant::now();
+    let (status, response) = read_response(&mut stream);
+    assert_eq!(status, 408, "an idle connection must be answered 408: {response}");
+    assert!(response.contains("idle"), "the 408 body must say why: {response}");
+    assert!(
+        idle_started.elapsed() >= Duration::from_millis(150),
+        "the reap must honour the configured idle window"
+    );
+    // The connection is closed after the 408 (EOF, not more data).
+    let mut tail = [0u8; 16];
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    assert!(matches!(stream.read(&mut tail), Ok(0) | Err(_)), "connection must be closed");
+
+    assert_eq!(server.metrics().http_idle_closed, 1, "the reap must be counted");
+    drop(stream);
+    finish(http, server);
+}
+
+#[test]
+fn slow_loris_partial_head_is_held_to_the_same_deadline() {
+    let qnet = tiny_qnet(18);
+    let (http, server) = start_http_with(
+        &qnet,
+        HttpConfig {
+            idle_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(20),
+            ..Default::default()
+        },
+    );
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    // Drip a partial request head, never completing it. Each drip lands
+    // well inside the read timeout, but only a *complete* request resets
+    // the idle deadline — so the drip-feed is reaped exactly like a
+    // silent peer would be.
+    let started = std::time::Instant::now();
+    stream.write_all(b"POST /v1/infer/tiny HTT").unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    stream.write_all(b"P/1.1\r\nContent-").unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let _ = stream.write_all(b"Length: 10\r\n");
+
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 408, "a slow-loris drip must be reaped, not served forever");
+    assert!(started.elapsed() >= Duration::from_millis(150));
+    assert_eq!(server.metrics().http_idle_closed, 1);
+    drop(stream);
+    finish(http, server);
+}
+
+#[test]
+fn health_and_ready_endpoints_serve_the_healing_surface() {
+    let qnet = tiny_qnet(19);
+    let (http, server) = start_http(&qnet, ServeConfig::default());
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    // One served request first: a model's breaker is created lazily on
+    // its first admission, and health must then surface it.
+    let img = TensorRng::seed_from(6).gaussian([3, 16, 16], 0.0, 0.7);
+    let infer =
+        encode_request("POST", "/v1/infer/tiny", &[], format_f32_array(img.as_slice()).as_bytes());
+    let (status, _) = roundtrip(&mut stream, &infer);
+    assert_eq!(status, 200);
+
+    let (status, body) = roundtrip(&mut stream, &encode_request("GET", "/v1/health", &[], b""));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"shards\":["), "{body}");
+    assert!(body.contains("\"breakers\":{"), "{body}");
+    assert!(body.contains("\"degrade_level\":0"), "{body}");
+    assert!(body.contains("\"respawns\":0"), "{body}");
+    assert!(body.contains("\"heartbeat_ages_ms\":["), "{body}");
+    // The default config breaks per model: the registered model's
+    // breaker must be surfaced closed.
+    assert!(body.contains("\"tiny\":{\"state\":\"closed\""), "{body}");
+
+    let (status, body) = roundtrip(&mut stream, &encode_request("GET", "/v1/ready", &[], b""));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"ready\":true}");
+
+    // Wrong method: same 405 contract as the other GET endpoints.
+    let (status, _) = roundtrip(&mut stream, &encode_request("POST", "/v1/health", &[], b"{}"));
+    assert_eq!(status, 405);
+
+    drop(stream);
+    finish(http, server);
+}
